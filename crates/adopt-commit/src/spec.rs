@@ -1,0 +1,173 @@
+//! The adopt-commit object contract and a reusable checking harness.
+//!
+//! An adopt-commit object ([Gafni 1998]; terminology of the paper's
+//! §1.2) provides a single operation `AdoptCommit(v)` returning
+//! `(commit, v')` or `(adopt, v')`, subject to:
+//!
+//! * **Termination** — every operation finishes in a bounded number of
+//!   its caller's steps (all implementations here are wait-free).
+//! * **Validity** — `v'` equals some operation's input.
+//! * **Convergence** — if all operations have the same input `v`, all
+//!   return `(commit, v)`.
+//! * **Coherence** — if any operation returns `(commit, v)`, every
+//!   operation returns `(commit, v)` or `(adopt, v)`.
+//!
+//! Values are identified by a caller-supplied `code`: two proposals are
+//! "the same value" iff their codes are equal. This lets personae that
+//! wrap the same input value (with different attached coin flips) be
+//! treated as equal, as the paper's consensus construction requires.
+//!
+//! [Gafni 1998]: https://doi.org/10.1145/277697.277724
+
+use sift_sim::{Process, ProcessId, Value};
+
+/// Whether the object detected agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The caller may safely decide on the value.
+    Commit,
+    /// The caller must adopt the value as its new preference.
+    Adopt,
+}
+
+/// The result of an `AdoptCommit` operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcOutput<V> {
+    /// Commit or adopt.
+    pub verdict: Verdict,
+    /// Code of the returned value (codes identify values).
+    pub code: u64,
+    /// The returned value: some proposal whose code is `code`.
+    pub value: V,
+}
+
+impl<V> AcOutput<V> {
+    /// Returns `true` if the verdict is [`Verdict::Commit`].
+    pub fn is_commit(&self) -> bool {
+        self.verdict == Verdict::Commit
+    }
+}
+
+/// A family of adopt-commit proposer state machines over one shared
+/// object instance.
+///
+/// Implementations hold the shared-object ids (allocated from a
+/// [`LayoutBuilder`](sift_sim::LayoutBuilder)) and mint one single-use
+/// [`Process`] per proposing process.
+pub trait AdoptCommit<V: Value> {
+    /// The proposer state machine type.
+    type Proposer: Process<Value = V, Output = AcOutput<V>>;
+
+    /// Creates the proposer for process `pid` proposing `value` with
+    /// identity `code`.
+    ///
+    /// Callers must ensure that equal values get equal codes and distinct
+    /// values distinct codes, and that codes are within the object's
+    /// configured code space.
+    fn proposer(&self, pid: ProcessId, code: u64, value: V) -> Self::Proposer;
+
+    /// Worst-case number of shared-memory operations per proposer.
+    fn steps_bound(&self) -> u64;
+}
+
+/// Checks the adopt-commit safety properties over a finished execution.
+///
+/// `proposals[i]` is the code proposed by process `i`; `outputs[i]` its
+/// result (or `None` if it crashed before finishing). Panics with a
+/// description of the first violated property; intended for tests.
+///
+/// # Panics
+///
+/// Panics if validity, convergence, or coherence is violated.
+pub fn check_ac_properties<V: Value>(proposals: &[u64], outputs: &[Option<AcOutput<V>>]) {
+    let decided: Vec<&AcOutput<V>> = outputs.iter().flatten().collect();
+
+    // Validity: every returned code was proposed.
+    for out in &decided {
+        assert!(
+            proposals.contains(&out.code),
+            "validity violated: returned code {} was never proposed (proposals {proposals:?})",
+            out.code
+        );
+    }
+
+    // Convergence: unanimous input => unanimous commit on it.
+    // (Only meaningful when every proposer finished: a crashed proposer
+    // may have blocked nobody, but unanimity is judged over actual
+    // participants, which we approximate by all proposals.)
+    let unanimous = proposals.windows(2).all(|w| w[0] == w[1]);
+    if unanimous && !proposals.is_empty() {
+        for out in &decided {
+            assert!(
+                out.verdict == Verdict::Commit && out.code == proposals[0],
+                "convergence violated: unanimous input {} but got {:?} on code {}",
+                proposals[0],
+                out.verdict,
+                out.code
+            );
+        }
+    }
+
+    // Coherence: a commit on v forces everyone to v.
+    if let Some(committed) = decided.iter().find(|o| o.is_commit()) {
+        for out in &decided {
+            assert!(
+                out.code == committed.code,
+                "coherence violated: committed code {} but another process returned code {}",
+                committed.code,
+                out.code
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(verdict: Verdict, code: u64) -> Option<AcOutput<u64>> {
+        Some(AcOutput {
+            verdict,
+            code,
+            value: code,
+        })
+    }
+
+    #[test]
+    fn accepts_legal_outcomes() {
+        check_ac_properties(&[3, 3, 3], &[out(Verdict::Commit, 3), out(Verdict::Commit, 3), None]);
+        check_ac_properties(
+            &[1, 2],
+            &[out(Verdict::Adopt, 2), out(Verdict::Adopt, 1)],
+        );
+        check_ac_properties(
+            &[1, 2],
+            &[out(Verdict::Commit, 2), out(Verdict::Adopt, 2)],
+        );
+        check_ac_properties::<u64>(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "validity violated")]
+    fn rejects_invented_value() {
+        check_ac_properties(&[1, 2], &[out(Verdict::Adopt, 9), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "convergence violated")]
+    fn rejects_adopt_on_unanimous_input() {
+        check_ac_properties(&[5, 5], &[out(Verdict::Adopt, 5), out(Verdict::Commit, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence violated")]
+    fn rejects_commit_conflict() {
+        check_ac_properties(&[1, 2], &[out(Verdict::Commit, 1), out(Verdict::Adopt, 2)]);
+    }
+
+    #[test]
+    fn is_commit_helper() {
+        assert!(AcOutput { verdict: Verdict::Commit, code: 0, value: 0u64 }.is_commit());
+        assert!(!AcOutput { verdict: Verdict::Adopt, code: 0, value: 0u64 }.is_commit());
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benches: adopt-commit object cost across the code space
+//! (wall-clock form of experiment E14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_adopt_commit::{AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc, GafniSnapshotAc};
+use sift_sim::schedule::RandomInterleave;
+use sift_sim::{Engine, LayoutBuilder, ProcessId};
+
+fn run_ac<A: AdoptCommit<u64>>(ac: &A, layout: &sift_sim::Layout, n: usize, seed: u64) {
+    let procs: Vec<_> = (0..n)
+        .map(|i| ac.proposer(ProcessId(i), (i % 3) as u64, (i % 3) as u64))
+        .collect();
+    let report = Engine::new(layout, procs).run(RandomInterleave::new(n, seed));
+    assert!(report.all_decided());
+}
+
+fn bench_adopt_commit(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("adopt_commit_run");
+    for &m in &[16u64, 1024, 65_536] {
+        if m <= 1024 {
+            group.bench_with_input(BenchmarkId::new("flags", m), &m, |b, &m| {
+                let mut builder = LayoutBuilder::new();
+                let ac = FlagsAc::allocate(&mut builder, m as usize);
+                let layout = builder.build();
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run_ac(&ac, &layout, n, seed)
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("digit_b2", m), &m, |b, &m| {
+            let mut builder = LayoutBuilder::new();
+            let ac = DigitAc::for_code_space(&mut builder, m, 2);
+            let layout = builder.build();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_ac(&ac, &layout, n, seed)
+            });
+        });
+    }
+    group.bench_function("gafni_snapshot_n16", |b| {
+        let mut builder = LayoutBuilder::new();
+        let ac = GafniSnapshotAc::<u64>::allocate(&mut builder, n, |v| *v);
+        let layout = builder.build();
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_ac(&ac, &layout, n, seed)
+        });
+    });
+    group.bench_function("gafni_register_n16", |b| {
+        let mut builder = LayoutBuilder::new();
+        let ac = GafniRegisterAc::<u64>::allocate(&mut builder, n, |v| *v);
+        let layout = builder.build();
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_ac(&ac, &layout, n, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adopt_commit);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches: simulated-execution throughput of each
+//! conciliator across n (mirrors experiments E3/E6/E7 in wall-clock
+//! form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_bench::run_trial;
+use sift_core::{
+    CilConciliator, EmbeddedConciliator, Epsilon, MaxConciliator, SiftingConciliator,
+    SnapshotConciliator,
+};
+use sift_sim::schedule::ScheduleKind;
+
+fn bench_conciliators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conciliator_run");
+    for &n in &[16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("alg1_snapshot", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trial(n, seed, ScheduleKind::RoundRobin, |lb| {
+                    SnapshotConciliator::allocate(lb, n, Epsilon::HALF)
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alg1_max_register", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trial(n, seed, ScheduleKind::RoundRobin, |lb| {
+                    MaxConciliator::allocate(lb, n, Epsilon::HALF)
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_sifting", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trial(n, seed, ScheduleKind::RoundRobin, |lb| {
+                    SiftingConciliator::allocate(lb, n, Epsilon::HALF)
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alg3_embedded", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trial(n, seed, ScheduleKind::RoundRobin, |lb| {
+                    EmbeddedConciliator::allocate(lb, n)
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cil_baseline", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_trial(n, seed, ScheduleKind::RoundRobin, |lb| {
+                    CilConciliator::allocate(lb, n)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conciliators);
+criterion_main!(benches);

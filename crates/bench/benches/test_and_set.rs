@@ -1,0 +1,51 @@
+//! Criterion benches: test-and-set cost (wall-clock form of E17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_sim::rng::SeedSplitter;
+use sift_sim::schedule::RandomInterleave;
+use sift_sim::{Engine, LayoutBuilder, ProcessId};
+use sift_tas::{SiftingTas, TournamentTas};
+
+fn bench_tas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("test_and_set_run");
+    for &n in &[16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("sifting_tas", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut builder = LayoutBuilder::new();
+                let tas = SiftingTas::allocate(&mut builder, n);
+                let layout = builder.build();
+                let split = SeedSplitter::new(seed);
+                let procs: Vec<_> = (0..n)
+                    .map(|i| {
+                        tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
+                    })
+                    .collect();
+                Engine::new(&layout, procs)
+                    .run(RandomInterleave::new(n, split.seed("schedule", 0)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tournament_tas", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut builder = LayoutBuilder::new();
+                let tas = TournamentTas::allocate(&mut builder, n);
+                let layout = builder.build();
+                let split = SeedSplitter::new(seed);
+                let procs: Vec<_> = (0..n)
+                    .map(|i| {
+                        tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
+                    })
+                    .collect();
+                Engine::new(&layout, procs)
+                    .run(RandomInterleave::new(n, split.seed("schedule", 0)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tas);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `adaptive` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::adaptive::run() {
+        t.print();
+    }
+}

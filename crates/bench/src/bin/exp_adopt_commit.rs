@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `adopt_commit` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::adopt_commit::run() {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `adversary` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::adversary::run() {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `agreement` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::agreement::run() {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `cost_model` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::cost_model::run() {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `max_register` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::max_register::run() {
+        t.print();
+    }
+}

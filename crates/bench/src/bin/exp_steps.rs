@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `steps` tables (see DESIGN.md index).
+fn main() {
+    for t in sift_bench::experiments::steps::run() {
+        t.print();
+    }
+}

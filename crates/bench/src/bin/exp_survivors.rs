@@ -1,0 +1,9 @@
+//! E1/E4/E5: survivor decay per round for both conciliators.
+fn main() {
+    for t in sift_bench::experiments::survivors::snapshot_conciliator() {
+        t.print();
+    }
+    for t in sift_bench::experiments::survivors::sifting_conciliator() {
+        t.print();
+    }
+}

@@ -1,0 +1,153 @@
+//! E20 — why obliviousness matters: an *adaptive* adversary (one that
+//! sees pending operations and process states, the §1.1 power the
+//! oblivious adversary is denied) defeats both conciliators outright.
+//!
+//! * Against the sifting conciliator it schedules, within each round,
+//!   every reader before any writer: all readers see ⊥ and survive with
+//!   their own personae, so no sifting ever happens.
+//! * Against the priority conciliator it runs processes in increasing
+//!   order of their current round priority, each to the end of its
+//!   scan: every process sees only lower priorities and keeps its own
+//!   persona.
+//!
+//! Both attacks keep all `n` personae alive through every round, so
+//! agreement only happens if it held at the start. This is the
+//! empirical face of the adaptive-adversary lower bounds
+//! (Attiya–Censor) the paper contrasts itself against.
+
+use sift_core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
+use sift_sim::rng::SeedSplitter;
+use sift_sim::schedule::RandomInterleave;
+use sift_sim::{Engine, LayoutBuilder, Op, ProcessId};
+
+use crate::runner::default_trials;
+use crate::stats::{RateCounter, Summary};
+use crate::table::{fmt_f64, Table};
+
+fn distinct_outputs<P, O: std::hash::Hash + Eq>(
+    report: &sift_sim::RunReport<P>,
+    key: impl Fn(&P::Output) -> O,
+) -> usize
+where
+    P: sift_sim::Process,
+{
+    use std::collections::HashSet;
+    let set: HashSet<O> = report.outputs.iter().flatten().map(key).collect();
+    set.len()
+}
+
+fn sifting_run(n: usize, seed: u64, adaptive: bool) -> (bool, usize) {
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+    let layout = b.build();
+    let split = SeedSplitter::new(seed);
+    let procs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let engine = Engine::new(&layout, procs);
+    let report = if adaptive {
+        // Readers of the earliest round go first: nobody is ever sifted.
+        engine.run_adaptive(|view| {
+            view.live
+                .iter()
+                .min_by_key(|(pid, proc, op)| {
+                    let is_writer = matches!(op, Op::RegisterWrite(_, _));
+                    (proc.round(), is_writer, pid.index())
+                })
+                .map(|(pid, _, _)| *pid)
+                .expect("live processes exist")
+        })
+    } else {
+        engine.run(RandomInterleave::new(n, split.seed("schedule", 0)))
+    };
+    let distinct = distinct_outputs(&report, |p| p.origin());
+    (distinct <= 1, distinct)
+}
+
+fn snapshot_run(n: usize, seed: u64, adaptive: bool) -> (bool, usize) {
+    let mut b = LayoutBuilder::new();
+    let c = SnapshotConciliator::allocate(&mut b, n, Epsilon::HALF);
+    let layout = b.build();
+    let split = SeedSplitter::new(seed);
+    let procs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let engine = Engine::new(&layout, procs);
+    let report = if adaptive {
+        // Ascending current-round priority, each process finishing its
+        // update+scan pair before the next starts: everyone sees only
+        // lower priorities and keeps its own persona.
+        engine.run_adaptive(|view| {
+            view.live
+                .iter()
+                .min_by_key(|(pid, proc, op)| {
+                    let scan_pending = matches!(op, Op::SnapshotScan(_));
+                    let priority = proc.persona().priority(proc.round());
+                    // A process mid-pair (scan pending) must finish
+                    // before its successor starts.
+                    (proc.round(), !scan_pending, priority, pid.index())
+                })
+                .map(|(pid, _, _)| *pid)
+                .expect("live processes exist")
+        })
+    } else {
+        engine.run(RandomInterleave::new(n, split.seed("schedule", 0)))
+    };
+    let distinct = distinct_outputs(&report, |p| p.origin());
+    (distinct <= 1, distinct)
+}
+
+/// Agreement under the oblivious random schedule versus the adaptive
+/// breaker, for both conciliators.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E20 — oblivious vs adaptive adversary (n = 64, distinct inputs)",
+        &[
+            "conciliator",
+            "adversary",
+            "trials",
+            "agree rate",
+            "mean distinct outputs",
+        ],
+    );
+    let n = 64;
+    let trials = default_trials(150);
+    for (name, runner) in [
+        (
+            "Alg 1 (snapshot)",
+            &snapshot_run as &dyn Fn(usize, u64, bool) -> (bool, usize),
+        ),
+        ("Alg 2 (sifting)", &sifting_run),
+    ] {
+        for adaptive in [false, true] {
+            let mut agree = RateCounter::new();
+            let mut distinct = Vec::new();
+            for seed in 0..trials as u64 {
+                let (ok, d) = runner(n, seed, adaptive);
+                agree.record(ok);
+                distinct.push(d as f64);
+            }
+            let s = Summary::of(&distinct);
+            table.row(vec![
+                name.to_string(),
+                if adaptive { "adaptive breaker" } else { "oblivious random" }.to_string(),
+                agree.total().to_string(),
+                fmt_f64(agree.rate()),
+                fmt_f64(s.mean),
+            ]);
+        }
+    }
+    table.note(
+        "The adaptive adversary watches pending operations (readers vs writers, current \
+         priorities) — exactly what §1.1 forbids — and keeps all n personae alive forever. \
+         Agreement collapses to 0 and every input survives to the output, confirming that \
+         the paper's speedups are specifically oblivious-adversary phenomena.",
+    );
+    vec![table]
+}

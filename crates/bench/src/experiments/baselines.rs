@@ -1,0 +1,81 @@
+//! E11 — baseline comparison: CIL vs the paper's conciliators under
+//! benign and adversarial schedules ("who wins, by what factor").
+
+use sift_core::{CilConciliator, Epsilon, EscalatingCilConciliator, MaxConciliator, SiftingConciliator};
+use sift_sim::schedule::ScheduleKind;
+
+use crate::runner::{default_trials, run_trial};
+use crate::stats::Summary;
+use crate::table::{fmt_mean_ci, Table};
+
+/// Measures worst-process step counts for each conciliator under the
+/// round-robin and block-sequential (solo) adversaries.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E11 — max individual steps: CIL vs escalating CIL vs Algorithm 1 (max) vs Algorithm 2",
+        &[
+            "schedule",
+            "n",
+            "CIL (Θ(n) solo)",
+            "escalating CIL (O(log n))",
+            "Alg 1 max-variant (2R)",
+            "Alg 2 sifting (R)",
+        ],
+    );
+    for &kind in &[ScheduleKind::RoundRobin, ScheduleKind::BlockSequential] {
+        for &n in &[16usize, 64, 256, 1024] {
+            let trials = default_trials(30);
+            let mut cil = Vec::new();
+            let mut esc = Vec::new();
+            let mut alg1 = Vec::new();
+            let mut alg2 = Vec::new();
+            for seed in 0..trials as u64 {
+                cil.push(
+                    run_trial(n, seed, kind, |b| CilConciliator::allocate(b, n))
+                        .metrics
+                        .max_individual_steps() as f64,
+                );
+                esc.push(
+                    run_trial(n, seed, kind, |b| EscalatingCilConciliator::allocate(b, n))
+                        .metrics
+                        .max_individual_steps() as f64,
+                );
+                alg1.push(
+                    run_trial(n, seed, kind, |b| {
+                        MaxConciliator::allocate(b, n, Epsilon::HALF)
+                    })
+                    .metrics
+                    .max_individual_steps() as f64,
+                );
+                alg2.push(
+                    run_trial(n, seed, kind, |b| {
+                        SiftingConciliator::allocate(b, n, Epsilon::HALF)
+                    })
+                    .metrics
+                    .max_individual_steps() as f64,
+                );
+            }
+            let (c, e, a1, a2) = (
+                Summary::of(&cil),
+                Summary::of(&esc),
+                Summary::of(&alg1),
+                Summary::of(&alg2),
+            );
+            table.row(vec![
+                kind.name().to_string(),
+                n.to_string(),
+                fmt_mean_ci(c.mean, c.ci95),
+                fmt_mean_ci(e.mean, e.ci95),
+                fmt_mean_ci(a1.mean, a1.ci95),
+                fmt_mean_ci(a2.mean, a2.ci95),
+            ]);
+        }
+    }
+    table.note(
+        "Under block-sequential scheduling the first CIL process runs solo and needs Θ(n) \
+         expected steps; the escalating variant (the pre-paper O(log n) state of the art) \
+         caps at ~log n; the paper's conciliators keep their log*/loglog worst cases — \
+         each improvement visible as a separate curve.",
+    );
+    vec![table]
+}

@@ -1,0 +1,50 @@
+//! The experiment suite: one module per table/figure of `DESIGN.md`'s
+//! experiment index (E1–E21).
+//!
+//! Every function returns [`Table`]s pairing
+//! measured values with the paper's analytical bound, so the output is
+//! directly comparable. Trial counts scale with the `SIFT_TRIALS`
+//! environment variable.
+
+pub mod adaptive;
+pub mod adopt_commit;
+pub mod adversary;
+pub mod agreement;
+pub mod baselines;
+pub mod consensus;
+pub mod cost_model;
+pub mod linear_work;
+pub mod max_register;
+pub mod priority_range;
+pub mod steps;
+pub mod survivors;
+pub mod tail;
+pub mod test_and_set;
+pub mod width;
+
+use crate::table::Table;
+
+/// Runs every experiment in order, returning all tables.
+///
+/// This regenerates the full "evaluation section" recorded in
+/// `EXPERIMENTS.md`.
+pub fn run_all() -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(survivors::snapshot_conciliator());
+    tables.extend(survivors::sifting_conciliator());
+    tables.extend(agreement::run());
+    tables.extend(steps::run());
+    tables.extend(linear_work::run());
+    tables.extend(baselines::run());
+    tables.extend(adversary::run());
+    tables.extend(adopt_commit::run());
+    tables.extend(consensus::run());
+    tables.extend(priority_range::run());
+    tables.extend(max_register::run());
+    tables.extend(test_and_set::run());
+    tables.extend(tail::run());
+    tables.extend(width::run());
+    tables.extend(adaptive::run());
+    tables.extend(cost_model::run());
+    tables
+}

@@ -1,0 +1,89 @@
+//! E13 — the priority-range analysis of §2: duplicate priorities happen
+//! with probability at most ε/2 at the paper's range `⌈R n²/ε⌉`, and
+//! shrinking the range degrades this gracefully.
+
+use std::collections::HashSet;
+
+use sift_core::analysis::duplicate_priority_probability;
+use sift_core::{Epsilon, Persona, PersonaSpec, SnapshotConciliator};
+use sift_sim::rng::SeedSplitter;
+use sift_sim::schedule::ScheduleKind;
+use sift_sim::{LayoutBuilder, ProcessId};
+
+use crate::runner::{default_trials, run_trial};
+use crate::stats::RateCounter;
+use crate::table::{fmt_f64, Table};
+
+/// Checks whether any two of `n` freshly generated personae share a
+/// priority in any round.
+fn has_duplicate(n: usize, rounds: usize, range: u64, seed: u64) -> bool {
+    let split = SeedSplitter::new(seed);
+    let spec = PersonaSpec {
+        priority_rounds: rounds,
+        priority_range: range,
+        write_probs: Vec::new(),
+    };
+    let personae: Vec<Persona> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            Persona::generate(ProcessId(i), 0, &spec, &mut rng)
+        })
+        .collect();
+    for round in 0..rounds {
+        let mut seen = HashSet::new();
+        for p in &personae {
+            if !seen.insert(p.priority(round)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Duplicate frequency and agreement rate as the priority range shrinks
+/// below the paper's choice.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E13 — priority range ablation (Algorithm 1, n = 64, ε = 1/2)",
+        &[
+            "range factor",
+            "range",
+            "paper dup bound",
+            "measured dup rate",
+            "disagree rate",
+        ],
+    );
+    let n = 64usize;
+    let eps = Epsilon::HALF;
+    let (rounds, paper_range) = {
+        let mut b = LayoutBuilder::new();
+        let c = SnapshotConciliator::allocate(&mut b, n, eps);
+        (c.rounds(), c.priority_range())
+    };
+    let trials = default_trials(800);
+    for &factor in &[1u64, 16, 256, 4096, 65_536] {
+        let range = (paper_range / factor).max(1);
+        let mut dup = RateCounter::new();
+        let mut disagree = RateCounter::new();
+        for seed in 0..trials as u64 {
+            dup.record(has_duplicate(n, rounds, range, seed));
+            let t = run_trial(n, seed, ScheduleKind::RandomInterleave, |b| {
+                SnapshotConciliator::with_parameters(b, n, rounds, range, eps)
+            });
+            disagree.record(!t.agreed);
+        }
+        table.row(vec![
+            format!("1/{factor}"),
+            range.to_string(),
+            fmt_f64(duplicate_priority_probability(n as u64, rounds as u64, range)),
+            fmt_f64(dup.rate()),
+            fmt_f64(disagree.rate()),
+        ]);
+    }
+    table.note(
+        "At the paper's range duplicates are vanishing (≤ ε/2 by a union bound); even with \
+         frequent duplicates the algorithm degrades gracefully because ties only merge \
+         personae pessimistically counted as failures in the analysis.",
+    );
+    vec![table]
+}

@@ -1,0 +1,19 @@
+//! # sift-bench — experiment harness
+//!
+//! Regenerates every table of the evaluation (see `DESIGN.md`'s
+//! experiment index E1–E21 and `EXPERIMENTS.md` for recorded results).
+//! Each `exp_*` binary prints one experiment's tables; `exp_all` runs
+//! the whole suite. Trial counts scale with the `SIFT_TRIALS`
+//! environment variable; run in `--release`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use runner::{default_trials, run_trial, run_trial_with_history, Trial};
+pub use stats::{RateCounter, Summary};
+pub use table::Table;

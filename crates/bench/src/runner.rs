@@ -1,0 +1,161 @@
+//! Shared trial machinery: build a protocol, run it under a schedule,
+//! collect agreement/step/survivor data.
+
+use sift_core::{distinct_per_round, Conciliator, Persona, RoundHistory};
+use sift_sim::rng::SeedSplitter;
+use sift_sim::schedule::ScheduleKind;
+use sift_sim::{Engine, LayoutBuilder, Metrics, Process, ProcessId};
+
+/// Result of one conciliator trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// All processes returned the same persona.
+    pub agreed: bool,
+    /// Number of distinct output personae.
+    pub distinct_outputs: usize,
+    /// Step accounting for the run.
+    pub metrics: Metrics,
+    /// Distinct-persona counts per round, when the participant records
+    /// history.
+    pub survivors: Option<Vec<usize>>,
+}
+
+/// Default number of trials, overridable with the `SIFT_TRIALS`
+/// environment variable.
+pub fn default_trials(wanted: usize) -> usize {
+    match std::env::var("SIFT_TRIALS") {
+        Ok(v) => v.parse().unwrap_or(wanted),
+        Err(_) => wanted,
+    }
+}
+
+fn run_generic<C, P>(
+    n: usize,
+    seed: u64,
+    kind: ScheduleKind,
+    build: impl FnOnce(&mut LayoutBuilder) -> C,
+    collect_history: bool,
+) -> Trial
+where
+    C: Conciliator<Participant = P>,
+    P: Process<Value = Persona, Output = Persona> + RoundHistory,
+{
+    let mut builder = LayoutBuilder::new();
+    let conciliator = build(&mut builder);
+    let layout = builder.build();
+    let split = SeedSplitter::new(seed);
+    let schedule = kind.build(n, split.seed("schedule", 0));
+    let participants: Vec<P> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            conciliator.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let report = Engine::new(&layout, participants).run(schedule);
+    let survivors = collect_history
+        .then(|| distinct_per_round(report.processes.iter().map(|p| p.history())));
+    summarize(report, survivors)
+}
+
+/// Runs one trial of a history-recording conciliator, collecting
+/// per-round survivor counts.
+pub fn run_trial_with_history<C, P>(
+    n: usize,
+    seed: u64,
+    kind: ScheduleKind,
+    build: impl FnOnce(&mut LayoutBuilder) -> C,
+) -> Trial
+where
+    C: Conciliator<Participant = P>,
+    P: Process<Value = Persona, Output = Persona> + RoundHistory,
+{
+    run_generic(n, seed, kind, build, true)
+}
+
+/// Runs one trial of any conciliator (no survivor collection).
+pub fn run_trial<C>(
+    n: usize,
+    seed: u64,
+    kind: ScheduleKind,
+    build: impl FnOnce(&mut LayoutBuilder) -> C,
+) -> Trial
+where
+    C: Conciliator,
+{
+    let mut builder = LayoutBuilder::new();
+    let conciliator = build(&mut builder);
+    let layout = builder.build();
+    let split = SeedSplitter::new(seed);
+    let schedule = kind.build(n, split.seed("schedule", 0));
+    let participants: Vec<C::Participant> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            conciliator.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let report = Engine::new(&layout, participants).run(schedule);
+    summarize(report, None)
+}
+
+fn summarize<P>(report: sift_sim::RunReport<P>, survivors: Option<Vec<usize>>) -> Trial
+where
+    P: Process<Value = Persona, Output = Persona>,
+{
+    use std::collections::HashSet;
+    let outputs: Vec<&Persona> = report.outputs.iter().flatten().collect();
+    for p in &outputs {
+        assert!(
+            p.input() < report.outputs.len() as u64,
+            "validity violated: output {} not an input",
+            p.input()
+        );
+    }
+    let distinct: HashSet<ProcessId> = outputs.iter().map(|p| p.origin()).collect();
+    Trial {
+        agreed: distinct.len() <= 1 && outputs.len() == report.outputs.len(),
+        distinct_outputs: distinct.len(),
+        metrics: report.metrics,
+        survivors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_core::{CilConciliator, Epsilon, SiftingConciliator};
+
+    #[test]
+    fn trial_reports_steps_and_agreement() {
+        let t = run_trial(8, 3, ScheduleKind::RoundRobin, |b| {
+            SiftingConciliator::allocate(b, 8, Epsilon::HALF)
+        });
+        assert!(t.metrics.total_steps > 0);
+        assert!(t.distinct_outputs >= 1);
+        assert!(t.survivors.is_none());
+    }
+
+    #[test]
+    fn trial_with_history_reports_survivors() {
+        let t = run_trial_with_history(8, 3, ScheduleKind::RandomInterleave, |b| {
+            SiftingConciliator::allocate(b, 8, Epsilon::HALF)
+        });
+        let survivors = t.survivors.expect("history requested");
+        assert!(!survivors.is_empty());
+        assert!(survivors[0] <= 8);
+        assert_eq!(t.agreed, *survivors.last().unwrap() == 1);
+    }
+
+    #[test]
+    fn cil_trial_runs_without_history() {
+        let t = run_trial(6, 1, ScheduleKind::RoundRobin, |b| {
+            CilConciliator::allocate(b, 6)
+        });
+        assert!(t.metrics.total_steps > 0);
+    }
+
+    #[test]
+    fn default_trials_honors_env() {
+        // No env set in tests: fall back to wanted.
+        assert_eq!(default_trials(42), 42);
+    }
+}

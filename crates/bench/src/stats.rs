@@ -1,0 +1,153 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub std_dev: f64,
+    /// Half-width of a normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let ci95 = 1.96 * std_dev / (count as f64).sqrt();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self {
+            count,
+            mean,
+            std_dev,
+            ci95,
+            min,
+            max,
+        }
+    }
+
+    /// Summarizes an iterator of integer samples.
+    pub fn of_counts(samples: impl IntoIterator<Item = u64>) -> Self {
+        let v: Vec<f64> = samples.into_iter().map(|x| x as f64).collect();
+        Self::of(&v)
+    }
+}
+
+/// An online success-rate counter (for agreement probabilities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RateCounter {
+    hits: u64,
+    total: u64,
+}
+
+impl RateCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.hits += u64::from(hit);
+        self.total += 1;
+    }
+
+    /// Number of successes.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of trials.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The empirical rate (0 when no trials were recorded).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Variance = (2.25+0.25+0.25+2.25)/3 = 5/3.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_of_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_of_counts() {
+        let s = Summary::of_counts([2u64, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn rate_counter() {
+        let mut r = RateCounter::new();
+        assert_eq!(r.rate(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        r.record(true);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.total(), 4);
+        assert!((r.rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! The conciliator abstraction.
+//!
+//! A conciliator (paper §1.2) keeps consensus's termination and validity
+//! but weakens agreement to *probabilistic agreement*: there is a fixed
+//! `δ > 0` such that, for any adversary strategy, all return values are
+//! equal with probability at least `δ`. Conciliators create agreement
+//! but cannot detect it; adopt-commit objects (in `sift-adopt-commit`)
+//! detect it but cannot create it; alternating the two yields consensus
+//! (`sift-consensus`).
+
+use sift_sim::rng::Xoshiro256StarStar;
+use sift_sim::{Process, ProcessId};
+
+use crate::persona::Persona;
+
+/// A family of conciliator participant state machines over one shared
+/// instance.
+///
+/// Implementations hold the shared-object ids (allocated from a
+/// [`LayoutBuilder`](sift_sim::LayoutBuilder)) and mint one single-use
+/// participant per process. All participants of `sift-core` store
+/// [`Persona`] values in shared memory and return the persona they
+/// settled on; the caller extracts [`Persona::input`].
+pub trait Conciliator {
+    /// The participant state machine type.
+    type Participant: Process<Value = Persona, Output = Persona>;
+
+    /// Creates the participant for process `pid` with input `input`.
+    ///
+    /// All coin flips the participant will ever need are drawn from
+    /// `rng` *now* (the persona technique), except for protocols that
+    /// inherently flip per-step coins (Chor–Israeli–Li), which keep the
+    /// generator.
+    fn participant(
+        &self,
+        pid: ProcessId,
+        input: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self::Participant;
+
+    /// Worst-case number of shared-memory operations per participant,
+    /// or `None` if only an expected bound exists (CIL-style loops).
+    fn steps_bound(&self) -> Option<u64>;
+
+    /// The agreement probability `δ` guaranteed by the construction
+    /// against any oblivious adversary.
+    fn agreement_probability(&self) -> f64;
+}
+
+/// Round-by-round persona history, for survivor-decay experiments
+/// (E1, E4, E5).
+///
+/// Participants of the round-structured conciliators record which
+/// persona they held after each round; aggregating over processes gives
+/// the number of distinct surviving personae per round — the paper's
+/// progress measure `Y_i`.
+pub trait RoundHistory {
+    /// `history()[i]` is the origin of the persona held after round
+    /// `i+1` (i.e. one entry per completed round).
+    fn history(&self) -> &[ProcessId];
+}
+
+/// Counts distinct personae held after each round, across participants.
+///
+/// Returns one count per round; participants that did not reach a round
+/// (crashed/starved) simply do not contribute to it. The excess count of
+/// the paper is `count - 1`.
+///
+/// # Examples
+///
+/// ```
+/// use sift_core::conciliator::distinct_per_round;
+/// use sift_sim::ProcessId;
+/// let histories: Vec<Vec<ProcessId>> = vec![
+///     vec![ProcessId(0), ProcessId(0)],
+///     vec![ProcessId(1), ProcessId(0)],
+/// ];
+/// assert_eq!(distinct_per_round(histories.iter().map(|h| h.as_slice())), vec![2, 1]);
+/// ```
+pub fn distinct_per_round<'a>(histories: impl Iterator<Item = &'a [ProcessId]>) -> Vec<usize> {
+    use std::collections::HashSet;
+    let mut per_round: Vec<HashSet<ProcessId>> = Vec::new();
+    for history in histories {
+        for (round, &origin) in history.iter().enumerate() {
+            if per_round.len() <= round {
+                per_round.resize_with(round + 1, HashSet::new);
+            }
+            per_round[round].insert(origin);
+        }
+    }
+    per_round.into_iter().map(|s| s.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_counts_shrink_with_adoption() {
+        let h0 = [ProcessId(0), ProcessId(2), ProcessId(2)];
+        let h1 = [ProcessId(1), ProcessId(2), ProcessId(2)];
+        let h2 = [ProcessId(2), ProcessId(1), ProcessId(2)];
+        let counts = distinct_per_round([&h0[..], &h1[..], &h2[..]].into_iter());
+        assert_eq!(counts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn ragged_histories_are_tolerated() {
+        let h0 = [ProcessId(0)];
+        let h1 = [ProcessId(1), ProcessId(1)];
+        let counts = distinct_per_round([&h0[..], &h1[..]].into_iter());
+        assert_eq!(counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let counts = distinct_per_round(std::iter::empty());
+        assert!(counts.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Lock-free execution of register-model protocols.
+//!
+//! The paper's register-model algorithms (the sifting conciliator, CIL,
+//! Algorithm 3 with its binary adopt-commit) use nothing but MWMR
+//! registers holding personae. Because every persona is generated
+//! before the protocol starts, each process can publish its persona
+//! once in a [`PersonaTable`] and the registers need only carry `u32`
+//! table indices — making the whole execution **lock-free** on real
+//! hardware ([`AtomicIndexRegister`]s are plain `AtomicU64`s).
+//!
+//! [`IndexedMemory`] adapts a protocol's [`Layout`] to this scheme: a
+//! `RegisterWrite(r, v)` stores `index_of(v)`, a `RegisterRead(r)`
+//! resolves the index through the table. Only register operations are
+//! supported; layouts that declare snapshots or max registers are
+//! rejected at construction.
+
+use std::sync::Arc;
+
+use sift_sim::{Layout, Op, OpResult, Process, Step, Value};
+
+use crate::persona_table::PersonaTable;
+use crate::register::AtomicIndexRegister;
+
+/// Shared lock-free memory for register-only layouts.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::indexed::IndexedMemory;
+/// use sift_sim::{LayoutBuilder, Op};
+///
+/// let mut b = LayoutBuilder::new();
+/// let r = b.register();
+/// let mem: IndexedMemory<String> =
+///     IndexedMemory::new(&b.build(), 2, |s: &String| s.len() as u32 - 5);
+/// mem.publish(0, "alice".to_string()); // index 0
+/// mem.publish(1, "warden".to_string()); // index 1
+/// mem.execute(Op::RegisterWrite(r, "warden".to_string())).expect_ack();
+/// assert_eq!(
+///     mem.execute(Op::RegisterRead(r)).expect_register(),
+///     Some("warden".to_string())
+/// );
+/// ```
+pub struct IndexedMemory<V> {
+    registers: Vec<AtomicIndexRegister>,
+    table: PersonaTable<V>,
+    index_of: Box<dyn Fn(&V) -> u32 + Send + Sync>,
+}
+
+impl<V: Value> IndexedMemory<V> {
+    /// Builds lock-free memory for `layout` with a value table of
+    /// `table_len` slots and the given value-to-index mapping.
+    ///
+    /// The mapping must satisfy `table[index_of(v)] ~ v` for every value
+    /// the protocol writes (personae: `index_of = origin id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout declares snapshots or max registers.
+    pub fn new(
+        layout: &Layout,
+        table_len: usize,
+        index_of: impl Fn(&V) -> u32 + Send + Sync + 'static,
+    ) -> Self {
+        assert!(
+            layout.snapshot_components().is_empty() && layout.max_register_count() == 0,
+            "indexed memory supports register-only layouts \
+             (got {} snapshots, {} max registers)",
+            layout.snapshot_components().len(),
+            layout.max_register_count()
+        );
+        Self {
+            registers: (0..layout.register_count())
+                .map(|_| AtomicIndexRegister::new())
+                .collect(),
+            table: PersonaTable::new(table_len),
+            index_of: Box::new(index_of),
+        }
+    }
+
+    /// Publishes `value` at `slot` (once, before the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already published.
+    pub fn publish(&self, slot: usize, value: V) {
+        assert!(
+            self.table.publish(slot, value),
+            "slot {slot} published twice"
+        );
+    }
+
+    /// Executes one register operation lock-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-register operations, on writes of unpublished
+    /// values, or on reads of indices missing from the table (both
+    /// indicate a protocol/publication mismatch).
+    pub fn execute(&self, op: Op<V>) -> OpResult<V> {
+        match op {
+            Op::RegisterRead(id) => {
+                let value = self.registers[id.index()].read().map(|index| {
+                    self.table
+                        .get(index as usize)
+                        .expect("read an index that was never published")
+                        .clone()
+                });
+                OpResult::RegisterValue(value)
+            }
+            Op::RegisterWrite(id, v) => {
+                let index = (self.index_of)(&v);
+                assert!(
+                    self.table.get(index as usize).is_some(),
+                    "writing value with unpublished index {index}"
+                );
+                self.registers[id.index()].write(index);
+                OpResult::Ack
+            }
+            other => panic!("indexed memory supports registers only, got {other:?}"),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for IndexedMemory<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexedMemory")
+            .field("registers", &self.registers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs register-only protocol state machines on OS threads over
+/// lock-free [`IndexedMemory`], blocking until all finish.
+///
+/// `published` seeds the value table: `published[i]` is stored at slot
+/// `i` before any thread starts.
+///
+/// # Panics
+///
+/// Panics if the layout is not register-only or a thread panics.
+pub fn run_threads_lock_free<P>(
+    layout: &Layout,
+    processes: Vec<P>,
+    published: Vec<P::Value>,
+    index_of: impl Fn(&P::Value) -> u32 + Send + Sync + 'static,
+) -> crate::runtime::ThreadReport<P::Output>
+where
+    P: Process + Send + 'static,
+    P::Output: Send + 'static,
+{
+    let memory = Arc::new(IndexedMemory::new(layout, published.len(), index_of));
+    for (slot, value) in published.into_iter().enumerate() {
+        memory.publish(slot, value);
+    }
+    let handles: Vec<_> = processes
+        .into_iter()
+        .map(|mut proc| {
+            let memory = Arc::clone(&memory);
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                let mut prev = None;
+                loop {
+                    match proc.step(prev.take()) {
+                        Step::Issue(op) => {
+                            ops += 1;
+                            prev = Some(memory.execute(op));
+                        }
+                        Step::Done(output) => return (output, ops),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut outputs = Vec::with_capacity(handles.len());
+    let mut ops = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let (output, count) = handle.join().expect("process thread panicked");
+        outputs.push(output);
+        ops.push(count);
+    }
+    crate::runtime::ThreadReport { outputs, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_core::{Epsilon, Persona, SiftingConciliator};
+    use sift_sim::rng::SeedSplitter;
+    use sift_sim::{LayoutBuilder, ProcessId};
+
+    #[test]
+    fn sifting_conciliator_runs_lock_free() {
+        let n = 8;
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(11);
+
+        // Generate all personae first, publish them, then run over
+        // word-sized lock-free registers.
+        let personae: Vec<Persona> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                Persona::generate(
+                    ProcessId(i),
+                    i as u64,
+                    &c.persona_spec(),
+                    &mut rng,
+                )
+            })
+            .collect();
+        let procs: Vec<_> = personae
+            .iter()
+            .map(|p| c.participant_with_persona(p.clone()))
+            .collect();
+        let report = run_threads_lock_free(&layout, procs, personae, |p: &Persona| {
+            p.origin().index() as u32
+        });
+        let rounds = c.rounds() as u64;
+        assert!(report.ops.iter().all(|&o| o == rounds));
+        for p in &report.outputs {
+            assert!(p.input() < n as u64, "validity over lock-free registers");
+        }
+    }
+
+    #[test]
+    fn publish_resolves_reads() {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let mem: IndexedMemory<u64> = IndexedMemory::new(&b.build(), 3, |v| (*v / 10) as u32);
+        mem.publish(0, 0);
+        mem.publish(1, 10);
+        mem.publish(2, 20);
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), None);
+        mem.execute(Op::RegisterWrite(r, 20)).expect_ack();
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(20));
+        mem.execute(Op::RegisterWrite(r, 10)).expect_ack();
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "register-only layouts")]
+    fn snapshot_layouts_are_rejected() {
+        let mut b = LayoutBuilder::new();
+        let _ = b.snapshot(4);
+        let _: IndexedMemory<u64> = IndexedMemory::new(&b.build(), 1, |_| 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpublished index")]
+    fn unpublished_write_panics() {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let mem: IndexedMemory<u64> = IndexedMemory::new(&b.build(), 1, |_| 0);
+        mem.execute(Op::RegisterWrite(r, 5)).expect_ack();
+    }
+
+    #[test]
+    #[should_panic(expected = "published twice")]
+    fn double_publish_panics() {
+        let mut b = LayoutBuilder::new();
+        let _ = b.register();
+        let mem: IndexedMemory<u64> = IndexedMemory::new(&b.build(), 1, |_| 0);
+        mem.publish(0, 1);
+        mem.publish(0, 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sift-shmem — threaded shared-memory substrate
+//!
+//! Real-thread counterparts of the simulator's shared objects, plus a
+//! runtime that drives the same [`Process`](sift_sim::Process) state
+//! machines on OS threads:
+//!
+//! * [`register::LockRegister`] / [`register::AtomicIndexRegister`] —
+//!   linearizable MWMR registers (lock-based for arbitrary values,
+//!   lock-free word-sized for index exchange via
+//!   [`persona_table::PersonaTable`]).
+//! * [`snapshot::CoarseSnapshot`] — lock-based linearizable snapshot.
+//! * [`snapshot::WaitFreeSnapshot`] — the Afek et al. wait-free snapshot
+//!   from single-writer registers (double collect + embedded-view
+//!   helping), the construction the paper's unit-cost accounting
+//!   abstracts away.
+//! * [`max_register::LockMaxRegister`] /
+//!   [`max_register::TreeMaxRegister`] — max registers, including the
+//!   switch-trie construction from monotone circuits (footnote 1's
+//!   object, built from plain bits).
+//! * [`indexed::IndexedMemory`] — lock-free execution of the
+//!   register-model protocols: personae are published once and
+//!   registers carry word-sized table indices.
+//! * [`memory::AtomicMemory`] + [`runtime::run_threads`] — instantiate a
+//!   protocol's [`Layout`](sift_sim::Layout) over these objects and run
+//!   its participants on threads.
+//!
+//! Statistical claims are measured on the simulator, where the adversary
+//! is controlled; this crate shows the algorithms running on real
+//! atomics and provides the substrate for wall-clock benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod indexed;
+pub mod max_register;
+pub mod memory;
+pub mod persona_table;
+pub mod register;
+pub mod runtime;
+pub mod snapshot;
+
+pub use indexed::{run_threads_lock_free, IndexedMemory};
+pub use memory::AtomicMemory;
+pub use persona_table::PersonaTable;
+pub use runtime::{run_threads, ThreadReport};

@@ -1,0 +1,90 @@
+//! Mutex-based max register.
+
+use parking_lot::Mutex;
+
+use sift_sim::Value;
+
+/// A linearizable max register guarded by a mutex.
+///
+/// `write(key, value)` keeps the entry only if `key` strictly exceeds
+/// the current maximum (ties keep the first value, matching the
+/// simulator's [`MaxRegister`](sift_sim::max_register::MaxRegister)).
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::max_register::LockMaxRegister;
+/// let m = LockMaxRegister::new();
+/// m.write(2, "low");
+/// m.write(9, "high");
+/// assert_eq!(m.read(), Some((9, "high")));
+/// ```
+#[derive(Debug, Default)]
+pub struct LockMaxRegister<V> {
+    entry: Mutex<Option<(u64, V)>>,
+}
+
+impl<V: Value> LockMaxRegister<V> {
+    /// Creates an empty max register.
+    pub fn new() -> Self {
+        Self {
+            entry: Mutex::new(None),
+        }
+    }
+
+    /// Writes `(key, value)`, kept only if `key` exceeds the current
+    /// maximum.
+    pub fn write(&self, key: u64, value: V) {
+        let mut guard = self.entry.lock();
+        match &*guard {
+            Some((current, _)) if *current >= key => {}
+            _ => *guard = Some((key, value)),
+        }
+    }
+
+    /// Reads the current maximum entry.
+    pub fn read(&self) -> Option<(u64, V)> {
+        self.entry.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_maximum() {
+        let m = LockMaxRegister::new();
+        m.write(5, 'a');
+        m.write(3, 'b');
+        m.write(7, 'c');
+        assert_eq!(m.read(), Some((7, 'c')));
+    }
+
+    #[test]
+    fn empty_reads_none() {
+        let m: LockMaxRegister<u8> = LockMaxRegister::new();
+        assert_eq!(m.read(), None);
+    }
+
+    #[test]
+    fn concurrent_writes_keep_global_maximum() {
+        let m = Arc::new(LockMaxRegister::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for k in 0..200 {
+                        m.write(t * 200 + k, (t, k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (key, _) = m.read().unwrap();
+        assert_eq!(key, 7 * 200 + 199);
+    }
+}

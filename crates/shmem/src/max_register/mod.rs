@@ -1,0 +1,16 @@
+//! Max registers for real threads.
+//!
+//! * [`LockMaxRegister`] — a mutex-guarded compare-and-keep cell; the
+//!   direct analogue of the simulator's object.
+//! * [`TreeMaxRegister`] — the Aspnes–Attiya–Censor-Hillel bounded max
+//!   register: a binary trie of atomic switch bits over the key space,
+//!   with values parked at the leaves. Reads and writes touch
+//!   `O(log key_space)` switches, demonstrating that the max registers
+//!   assumed by the paper's footnote 1 are cheaply constructible from
+//!   plain shared bits.
+
+mod lock;
+mod tree;
+
+pub use lock::LockMaxRegister;
+pub use tree::TreeMaxRegister;

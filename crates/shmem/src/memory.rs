@@ -1,0 +1,121 @@
+//! Thread-safe shared memory mirroring a simulator [`Layout`].
+
+use sift_sim::{Layout, MaxRegisterId, Op, OpResult, RegisterId, SnapshotId, Value};
+
+use crate::max_register::LockMaxRegister;
+use crate::register::LockRegister;
+use crate::snapshot::CoarseSnapshot;
+
+/// Shared memory for real threads, instantiated from the same
+/// [`Layout`] a protocol declares for the simulator — so a protocol
+/// written once runs on both runtimes unchanged.
+///
+/// All objects are linearizable; operations take `&self` and are safe to
+/// call from any number of threads.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::memory::AtomicMemory;
+/// use sift_sim::{LayoutBuilder, Op};
+///
+/// let mut b = LayoutBuilder::new();
+/// let r = b.register();
+/// let mem: AtomicMemory<u32> = AtomicMemory::new(&b.build());
+/// mem.execute(Op::RegisterWrite(r, 9)).expect_ack();
+/// assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(9));
+/// ```
+#[derive(Debug)]
+pub struct AtomicMemory<V> {
+    registers: Vec<LockRegister<V>>,
+    snapshots: Vec<CoarseSnapshot<V>>,
+    max_registers: Vec<LockMaxRegister<V>>,
+}
+
+impl<V: Value> AtomicMemory<V> {
+    /// Instantiates thread-safe memory for `layout`.
+    pub fn new(layout: &Layout) -> Self {
+        Self {
+            registers: (0..layout.register_count())
+                .map(|_| LockRegister::new())
+                .collect(),
+            snapshots: layout
+                .snapshot_components()
+                .iter()
+                .map(|&c| CoarseSnapshot::new(c))
+                .collect(),
+            max_registers: (0..layout.max_register_count())
+                .map(|_| LockMaxRegister::new())
+                .collect(),
+        }
+    }
+
+    /// Executes one operation atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an object id is out of range for the layout.
+    pub fn execute(&self, op: Op<V>) -> OpResult<V> {
+        match op {
+            Op::RegisterRead(id) => OpResult::RegisterValue(self.register(id).read()),
+            Op::RegisterWrite(id, v) => {
+                self.register(id).write(v);
+                OpResult::Ack
+            }
+            Op::SnapshotUpdate(id, component, v) => {
+                self.snapshot(id).update(component, v);
+                OpResult::Ack
+            }
+            Op::SnapshotScan(id) => OpResult::SnapshotView(self.snapshot(id).scan()),
+            Op::MaxRead(id) => OpResult::MaxValue(self.max_register(id).read()),
+            Op::MaxWrite(id, key, v) => {
+                self.max_register(id).write(key, v);
+                OpResult::Ack
+            }
+        }
+    }
+
+    fn register(&self, id: RegisterId) -> &LockRegister<V> {
+        &self.registers[id.index()]
+    }
+
+    fn snapshot(&self, id: SnapshotId) -> &CoarseSnapshot<V> {
+        &self.snapshots[id.index()]
+    }
+
+    fn max_register(&self, id: MaxRegisterId) -> &LockMaxRegister<V> {
+        &self.max_registers[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_sim::LayoutBuilder;
+
+    #[test]
+    fn mirrors_layout_objects() {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let s = b.snapshot(4);
+        let m = b.max_register();
+        let mem: AtomicMemory<u32> = AtomicMemory::new(&b.build());
+
+        mem.execute(Op::RegisterWrite(r, 1)).expect_ack();
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(1));
+
+        mem.execute(Op::SnapshotUpdate(s, 2, 5)).expect_ack();
+        let view = mem.execute(Op::SnapshotScan(s)).expect_view();
+        assert_eq!(view[2], Some(5));
+
+        mem.execute(Op::MaxWrite(m, 9, 90)).expect_ack();
+        mem.execute(Op::MaxWrite(m, 3, 30)).expect_ack();
+        assert_eq!(mem.execute(Op::MaxRead(m)).expect_max(), Some((9, 90)));
+    }
+
+    #[test]
+    fn empty_layout_is_fine() {
+        let mem: AtomicMemory<u32> = AtomicMemory::new(&LayoutBuilder::new().build());
+        let _ = mem;
+    }
+}

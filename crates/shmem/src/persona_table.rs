@@ -1,0 +1,103 @@
+//! Publish-once value tables for word-sized lock-free registers.
+//!
+//! The paper's registers hold whole personae; real lock-free registers
+//! hold a machine word. Because every persona is generated *before* the
+//! protocol starts (the persona technique), each process can publish its
+//! persona once in a pre-sized table and protocols can then exchange
+//! `u32` table indices through
+//! [`AtomicIndexRegister`](crate::register::AtomicIndexRegister)s — the
+//! configuration closest to the paper's model that is actually lock-free
+//! on hardware.
+
+use std::sync::OnceLock;
+
+use sift_sim::Value;
+
+/// A table of values published at most once per slot.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::persona_table::PersonaTable;
+/// let table: PersonaTable<String> = PersonaTable::new(2);
+/// table.publish(0, "alice".to_string());
+/// assert_eq!(table.get(0), Some(&"alice".to_string()));
+/// assert_eq!(table.get(1), None);
+/// ```
+#[derive(Debug)]
+pub struct PersonaTable<V> {
+    slots: Vec<OnceLock<V>>,
+}
+
+impl<V: Value> PersonaTable<V> {
+    /// Creates a table with `len` empty slots.
+    pub fn new(len: usize) -> Self {
+        Self {
+            slots: (0..len).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the table has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Publishes `value` in `slot`. Returns `false` if the slot was
+    /// already published (the original value is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn publish(&self, slot: usize, value: V) -> bool {
+        self.slots[slot].set(value).is_ok()
+    }
+
+    /// Reads slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn get(&self, slot: usize) -> Option<&V> {
+        self.slots[slot].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_once_semantics() {
+        let t: PersonaTable<u32> = PersonaTable::new(1);
+        assert!(t.publish(0, 7));
+        assert!(!t.publish(0, 8), "second publish is rejected");
+        assert_eq!(t.get(0), Some(&7));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_publishers_keep_exactly_one() {
+        let t = Arc::new(PersonaTable::<u32>::new(1));
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.publish(0, i))
+            })
+            .collect();
+        let successes = handles
+            .into_iter()
+            .filter(|_| true)
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(successes, 1, "exactly one publish wins");
+        assert!(t.get(0).is_some());
+    }
+}

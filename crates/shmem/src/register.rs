@@ -1,0 +1,157 @@
+//! Linearizable multi-writer multi-reader registers for real threads.
+
+use parking_lot::RwLock;
+
+use sift_sim::Value;
+
+/// A linearizable MWMR register over any value type, built on a
+/// reader-writer lock.
+///
+/// Each operation holds the lock for a single load or store, so
+/// operations are trivially linearizable (the lock acquisition order is
+/// the linearization order). Not lock-free; see
+/// [`AtomicIndexRegister`] for the lock-free word-sized variant used
+/// with a [`PersonaTable`](crate::persona_table::PersonaTable).
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::register::LockRegister;
+/// let r: LockRegister<String> = LockRegister::new();
+/// assert_eq!(r.read(), None);
+/// r.write("hello".to_string());
+/// assert_eq!(r.read(), Some("hello".to_string()));
+/// ```
+#[derive(Debug, Default)]
+pub struct LockRegister<V> {
+    cell: RwLock<Option<V>>,
+}
+
+impl<V: Value> LockRegister<V> {
+    /// Creates a register holding ⊥.
+    pub fn new() -> Self {
+        Self {
+            cell: RwLock::new(None),
+        }
+    }
+
+    /// Reads the register (`None` is ⊥).
+    pub fn read(&self) -> Option<V> {
+        self.cell.read().clone()
+    }
+
+    /// Writes `value`.
+    pub fn write(&self, value: V) {
+        *self.cell.write() = Some(value);
+    }
+}
+
+/// A lock-free MWMR register holding a `u32` index (`None` is ⊥).
+///
+/// The register packs `Some(i)` as `i + 1` into an `AtomicU64`, with 0
+/// for ⊥. Protocols that publish their personae in a
+/// [`PersonaTable`](crate::persona_table::PersonaTable) can then run
+/// entirely on word-sized lock-free registers, the configuration closest
+/// to the paper's model on real hardware.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::register::AtomicIndexRegister;
+/// let r = AtomicIndexRegister::new();
+/// assert_eq!(r.read(), None);
+/// r.write(7);
+/// assert_eq!(r.read(), Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicIndexRegister {
+    cell: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicIndexRegister {
+    /// Creates a register holding ⊥.
+    pub fn new() -> Self {
+        Self {
+            cell: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Reads the register.
+    pub fn read(&self) -> Option<u32> {
+        match self.cell.load(std::sync::atomic::Ordering::SeqCst) {
+            0 => None,
+            v => Some((v - 1) as u32),
+        }
+    }
+
+    /// Writes `index`.
+    pub fn write(&self, index: u32) {
+        self.cell
+            .store(index as u64 + 1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_register_last_write_wins() {
+        let r = LockRegister::new();
+        r.write(1u32);
+        r.write(2u32);
+        assert_eq!(r.read(), Some(2));
+    }
+
+    #[test]
+    fn atomic_index_register_round_trip() {
+        let r = AtomicIndexRegister::new();
+        assert_eq!(r.read(), None);
+        r.write(0);
+        assert_eq!(r.read(), Some(0), "index 0 must be distinguishable from ⊥");
+        r.write(u32::MAX);
+        assert_eq!(r.read(), Some(u32::MAX));
+    }
+
+    #[test]
+    fn concurrent_writers_leave_some_written_value() {
+        let r = Arc::new(LockRegister::new());
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.write(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = r.read().expect("someone wrote");
+        assert!(v < 8);
+    }
+
+    #[test]
+    fn concurrent_atomic_register_is_safe() {
+        let r = Arc::new(AtomicIndexRegister::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.write(i);
+                        if let Some(v) = r.read() {
+                            assert!(v < 4);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Runs simulator state machines on real OS threads.
+//!
+//! The adversary here is the operating-system scheduler: it cannot see
+//! the processes' coins (they live in thread-local state), so it is a
+//! reasonable real-world approximation of a content-oblivious adversary
+//! — with the caveat discussed in the paper's §2 (and in
+//! Golab–Higham–Woelfel) that linearizable implementations do not in
+//! general preserve the probabilistic guarantees proved for atomic
+//! objects. The statistical experiments therefore run on the simulator;
+//! this runtime demonstrates the algorithms working on real atomics and
+//! measures wall-clock cost.
+
+use std::sync::Arc;
+
+use sift_sim::{Layout, Process, Step};
+
+use crate::memory::AtomicMemory;
+
+/// Outcome of one threaded run.
+#[derive(Debug)]
+pub struct ThreadReport<O> {
+    /// Per-process outputs, in process order.
+    pub outputs: Vec<O>,
+    /// Per-process operation counts.
+    pub ops: Vec<u64>,
+}
+
+impl<O> ThreadReport<O> {
+    /// Total operations across all processes.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+}
+
+impl<O: PartialEq> ThreadReport<O> {
+    /// Returns `true` if all outputs are equal.
+    pub fn outputs_agree(&self) -> bool {
+        self.outputs.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Runs each process state machine on its own OS thread against
+/// [`AtomicMemory`] built from `layout`, blocking until all finish.
+///
+/// # Examples
+///
+/// ```
+/// use sift_core::{Conciliator, Epsilon, SiftingConciliator};
+/// use sift_shmem::runtime::run_threads;
+/// use sift_sim::rng::SeedSplitter;
+/// use sift_sim::{LayoutBuilder, ProcessId};
+///
+/// let n = 4;
+/// let mut b = LayoutBuilder::new();
+/// let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+/// let layout = b.build();
+/// let split = SeedSplitter::new(1);
+/// let procs: Vec<_> = (0..n)
+///     .map(|i| {
+///         let mut rng = split.stream("process", i as u64);
+///         c.participant(ProcessId(i), i as u64, &mut rng)
+///     })
+///     .collect();
+/// let report = run_threads(&layout, procs);
+/// assert_eq!(report.outputs.len(), n);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a process thread panics.
+pub fn run_threads<P>(layout: &Layout, processes: Vec<P>) -> ThreadReport<P::Output>
+where
+    P: Process + Send + 'static,
+    P::Output: Send + 'static,
+{
+    let memory: Arc<AtomicMemory<P::Value>> = Arc::new(AtomicMemory::new(layout));
+    let handles: Vec<_> = processes
+        .into_iter()
+        .map(|mut proc| {
+            let memory = Arc::clone(&memory);
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                let mut prev = None;
+                loop {
+                    match proc.step(prev.take()) {
+                        Step::Issue(op) => {
+                            ops += 1;
+                            prev = Some(memory.execute(op));
+                        }
+                        Step::Done(output) => return (output, ops),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut outputs = Vec::with_capacity(handles.len());
+    let mut ops = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let (output, count) = handle.join().expect("process thread panicked");
+        outputs.push(output);
+        ops.push(count);
+    }
+    ThreadReport { outputs, ops }
+}
+
+/// Convenience alias used by examples: the value type most protocols
+/// store.
+pub type PersonaMemory = AtomicMemory<sift_core::Persona>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_core::{
+        CilConciliator, Conciliator, EmbeddedConciliator, Epsilon, SiftingConciliator,
+        SnapshotConciliator,
+    };
+    use sift_sim::rng::SeedSplitter;
+    use sift_sim::{LayoutBuilder, ProcessId};
+
+    #[test]
+    fn sifting_conciliator_runs_on_threads() {
+        let n = 8;
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(2);
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect();
+        let report = run_threads(&layout, procs);
+        assert_eq!(report.outputs.len(), n);
+        for p in &report.outputs {
+            assert!(p.input() < n as u64, "validity on threads");
+        }
+        let rounds = c.rounds() as u64;
+        assert!(report.ops.iter().all(|&o| o == rounds));
+    }
+
+    #[test]
+    fn snapshot_conciliator_runs_on_threads() {
+        let n = 6;
+        let mut b = LayoutBuilder::new();
+        let c = SnapshotConciliator::allocate(&mut b, n, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(3);
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), 100 + i as u64, &mut rng)
+            })
+            .collect();
+        let report = run_threads(&layout, procs);
+        for p in &report.outputs {
+            assert!((100..106).contains(&p.input()));
+        }
+    }
+
+    #[test]
+    fn embedded_conciliator_runs_on_threads() {
+        let n = 8;
+        let mut b = LayoutBuilder::new();
+        let c = EmbeddedConciliator::allocate(&mut b, n);
+        let layout = b.build();
+        let split = SeedSplitter::new(4);
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect();
+        let report = run_threads(&layout, procs);
+        let bound = c.steps_bound().unwrap();
+        for (&ops, p) in report.ops.iter().zip(&report.outputs) {
+            assert!(ops <= bound);
+            assert!(p.input() < n as u64);
+        }
+    }
+
+    #[test]
+    fn cil_conciliator_usually_agrees_on_threads() {
+        let n = 4;
+        let mut agreements = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut b = LayoutBuilder::new();
+            let c = CilConciliator::allocate(&mut b, n);
+            let layout = b.build();
+            let split = SeedSplitter::new(seed);
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), i as u64, &mut rng)
+                })
+                .collect();
+            let report = run_threads(&layout, procs);
+            if report.outputs_agree() {
+                agreements += 1;
+            }
+        }
+        assert!(
+            agreements * 2 > trials,
+            "agreement rate {agreements}/{trials} suspiciously low"
+        );
+    }
+
+    #[test]
+    fn adopt_commit_objects_run_on_threads() {
+        use sift_adopt_commit::{check_ac_properties, AdoptCommit, GafniSnapshotAc};
+        let n = 6;
+        let mut b = LayoutBuilder::new();
+        let ac = GafniSnapshotAc::<u64>::allocate(&mut b, n, |v| *v);
+        let layout = b.build();
+        let proposals: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        let procs: Vec<_> = proposals
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ac.proposer(ProcessId(i), c, c))
+            .collect();
+        let report = run_threads(&layout, procs);
+        let outputs: Vec<_> = report.outputs.into_iter().map(Some).collect();
+        check_ac_properties(&proposals, &outputs);
+    }
+
+    #[test]
+    fn sifting_tas_runs_on_threads() {
+        use sift_tas::{check_tas_properties, SiftingTas};
+        let n = 8;
+        for seed in 0..10 {
+            let mut b = LayoutBuilder::new();
+            let tas = SiftingTas::allocate(&mut b, n);
+            let layout = b.build();
+            let split = SeedSplitter::new(seed);
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
+                })
+                .collect();
+            let report = run_threads(&layout, procs);
+            let outputs: Vec<_> = report.outputs.into_iter().map(Some).collect();
+            check_tas_properties(&outputs);
+        }
+    }
+
+    #[test]
+    fn full_consensus_stack_runs_on_threads() {
+        use sift_consensus::{check_consensus, snapshot_consensus};
+        let n = 5;
+        let mut b = LayoutBuilder::new();
+        let protocol = snapshot_consensus(&mut b, n);
+        let layout = b.build();
+        let split = SeedSplitter::new(6);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                protocol.participant(ProcessId(i), inputs[i], &mut rng)
+            })
+            .collect();
+        let report = run_threads(&layout, procs);
+        check_consensus(&inputs, report.outputs.iter());
+    }
+}

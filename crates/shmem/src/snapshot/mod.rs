@@ -1,0 +1,20 @@
+//! Snapshot objects for real threads.
+//!
+//! Two implementations of the same linearizable scan/update interface:
+//!
+//! * [`CoarseSnapshot`] — a reader-writer lock around the component
+//!   vector. Simple, linearizable, and what the runtime uses by
+//!   default.
+//! * [`WaitFreeSnapshot`] — the classic Afek et al. construction from
+//!   single-writer registers (double collect with embedded-scan
+//!   helping). Built here to demonstrate that the model's snapshot
+//!   object is implementable from registers alone; its operations cost
+//!   `O(n)` register accesses, which is exactly the gap the paper's
+//!   "unit-cost snapshot" accounting abstracts away (and which the
+//!   simulator's `CostModel::RegisterImplemented` charges).
+
+mod coarse;
+mod waitfree;
+
+pub use coarse::CoarseSnapshot;
+pub use waitfree::WaitFreeSnapshot;

@@ -1,0 +1,603 @@
+//! The execution engine: drives process state machines under an
+//! oblivious-adversary schedule against simulated shared memory.
+//!
+//! Semantics (matching §1.1 of the paper):
+//!
+//! * At each schedule slot, the scheduled process executes exactly one
+//!   shared-memory operation (atomically).
+//! * Slots given to a finished process are free no-ops.
+//! * The run ends when every process in the schedule's support has
+//!   finished, when the schedule is exhausted, or when an explicit slot
+//!   limit is reached.
+//!
+//! Local computation between operations is free: the engine resumes the
+//! state machine with the operation's result immediately after executing
+//! it, so the *next* operation is ready for the process's next slot, and
+//! a process whose final operation completes needs no extra slot to
+//! return its output.
+
+use crate::ids::ProcessId;
+use crate::layout::Layout;
+use crate::memory::Memory;
+use crate::metrics::Metrics;
+use crate::op::Op;
+use crate::process::{Process, Step};
+use crate::schedule::Schedule;
+use crate::trace::{Trace, TraceEvent};
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StopReason {
+    /// Every process in the schedule's support finished.
+    AllDone,
+    /// The schedule produced no more slots.
+    ScheduleExhausted,
+    /// The configured slot limit was reached.
+    SlotLimit,
+}
+
+enum Slot<P: Process> {
+    Running { proc: P, pending: Option<Op<P::Value>> },
+    Done { proc: P, output: P::Output },
+    /// Transient state while a slot is being advanced.
+    Vacant,
+}
+
+/// The engine owning memory, processes, and accounting for one run.
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::{Engine, LayoutBuilder, Op, OpResult, Process, RegisterId, Step};
+/// use sift_sim::schedule::RoundRobin;
+///
+/// struct WriteOnce(RegisterId, u32, bool);
+/// impl Process for WriteOnce {
+///     type Value = u32;
+///     type Output = u32;
+///     fn step(&mut self, _prev: Option<OpResult<u32>>) -> Step<u32, u32> {
+///         if self.2 {
+///             Step::Done(self.1)
+///         } else {
+///             self.2 = true;
+///             Step::Issue(Op::RegisterWrite(self.0, self.1))
+///         }
+///     }
+/// }
+///
+/// let mut b = LayoutBuilder::new();
+/// let r = b.register();
+/// let layout = b.build();
+/// let procs = vec![WriteOnce(r, 10, false), WriteOnce(r, 20, false)];
+/// let report = Engine::new(&layout, procs).run(RoundRobin::new(2));
+/// assert_eq!(report.outputs, vec![Some(10), Some(20)]);
+/// assert_eq!(report.metrics.total_steps, 2);
+/// ```
+pub struct Engine<P: Process> {
+    memory: Memory<P::Value>,
+    slots: Vec<Slot<P>>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    slot_limit: u64,
+    live: usize,
+}
+
+impl<P: Process> Engine<P> {
+    /// Creates an engine over fresh unit-cost memory for `layout`.
+    pub fn new(layout: &Layout, processes: Vec<P>) -> Self {
+        Self::with_memory(Memory::new(layout), processes)
+    }
+
+    /// Creates an engine over explicitly constructed memory (e.g. with a
+    /// non-default [`CostModel`](crate::memory::CostModel)).
+    pub fn with_memory(memory: Memory<P::Value>, processes: Vec<P>) -> Self {
+        let n = processes.len();
+        let mut live = 0;
+        let slots = processes
+            .into_iter()
+            .map(|mut proc| match proc.step(None) {
+                Step::Issue(op) => {
+                    live += 1;
+                    Slot::Running {
+                        proc,
+                        pending: Some(op),
+                    }
+                }
+                Step::Done(output) => Slot::Done { proc, output },
+            })
+            .collect();
+        Self {
+            memory,
+            slots,
+            metrics: Metrics::new(n),
+            trace: None,
+            slot_limit: u64::MAX,
+            live,
+        }
+    }
+
+    /// Enables trace recording (off by default; traces can be large).
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// Caps the number of *charged* slots; the run stops with
+    /// [`StopReason::SlotLimit`] when reached. Useful for protocols with
+    /// unbounded worst cases (e.g. Chor–Israeli–Li).
+    pub fn limit_slots(&mut self, limit: u64) -> &mut Self {
+        self.slot_limit = limit;
+        self
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn advance(&mut self, pid: ProcessId, schedule: &mut impl Schedule) -> bool {
+        let slot = &mut self.slots[pid.index()];
+        let (mut proc, op) = match std::mem::replace(slot, Slot::Vacant) {
+            Slot::Running { proc, pending } => {
+                (proc, pending.expect("running process always has a pending op"))
+            }
+            done @ Slot::Done { .. } => {
+                *slot = done;
+                self.metrics.record_skip();
+                return false;
+            }
+            Slot::Vacant => unreachable!("vacant slot outside advance"),
+        };
+
+        let kind = op.kind();
+        let cost = self.memory.cost(&op);
+        let result = self.memory.execute(op);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                slot: self.metrics.total_ops,
+                pid,
+                kind,
+            });
+        }
+        self.metrics.record(pid.index(), kind, cost);
+
+        match proc.step(Some(result)) {
+            Step::Issue(next) => {
+                self.slots[pid.index()] = Slot::Running {
+                    proc,
+                    pending: Some(next),
+                };
+                false
+            }
+            Step::Done(output) => {
+                self.slots[pid.index()] = Slot::Done { proc, output };
+                self.live -= 1;
+                schedule.on_done(pid);
+                true
+            }
+        }
+    }
+
+    /// Runs under an **adaptive adversary**: before every step,
+    /// `chooser` inspects the live processes — including their internal
+    /// state and, crucially, the operation each is about to perform —
+    /// plus the full memory contents, and picks who moves next.
+    ///
+    /// This is precisely the power the oblivious adversary is denied
+    /// (§1.1), provided to quantify the gap: the paper's conciliators
+    /// lose their agreement guarantees against it (experiment E20),
+    /// which is why `Ω(n²)` total work is needed in the adaptive model
+    /// (Attiya–Censor).
+    ///
+    /// The run ends when all processes finish or the slot limit is
+    /// reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chooser` returns an id that is out of range or
+    /// already finished.
+    pub fn run_adaptive(
+        mut self,
+        mut chooser: impl FnMut(AdaptiveView<'_, P>) -> ProcessId,
+    ) -> RunReport<P> {
+        let reason = loop {
+            if self.live == 0 {
+                break StopReason::AllDone;
+            }
+            if self.metrics.total_ops + self.metrics.skipped_slots >= self.slot_limit {
+                break StopReason::SlotLimit;
+            }
+            let live: Vec<(ProcessId, &P, &Op<P::Value>)> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| match slot {
+                    Slot::Running { proc, pending } => Some((
+                        ProcessId(i),
+                        proc,
+                        pending.as_ref().expect("running process has a pending op"),
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let pid = chooser(AdaptiveView {
+                live: &live,
+                memory: &self.memory,
+            });
+            assert!(
+                matches!(self.slots.get(pid.index()), Some(Slot::Running { .. })),
+                "adaptive adversary chose non-live {pid}"
+            );
+            let mut noop = NoopSchedule;
+            self.advance(pid, &mut noop);
+        };
+        self.into_report(reason)
+    }
+
+    /// Runs to completion under `schedule` and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule yields a process id out of range.
+    pub fn run(mut self, mut schedule: impl Schedule) -> RunReport<P> {
+        let support = schedule.support();
+        let support_total = support.len();
+        let mut support_done = support
+            .iter()
+            .filter(|pid| matches!(self.slots[pid.index()], Slot::Done { .. }))
+            .count();
+        // Tell the schedule about processes that finished without taking
+        // any steps (their first `step(None)` returned `Done`).
+        for (i, slot) in self.slots.iter().enumerate() {
+            if matches!(slot, Slot::Done { .. }) {
+                schedule.on_done(ProcessId(i));
+            }
+        }
+
+        let mut in_support = vec![false; self.slots.len()];
+        for pid in &support {
+            in_support[pid.index()] = true;
+        }
+
+        let reason = loop {
+            if self.live == 0 || (support_total > 0 && support_done == support_total) {
+                break StopReason::AllDone;
+            }
+            if self.metrics.total_ops + self.metrics.skipped_slots >= self.slot_limit {
+                break StopReason::SlotLimit;
+            }
+            match schedule.next_pid() {
+                None => break StopReason::ScheduleExhausted,
+                Some(pid) => {
+                    assert!(
+                        pid.index() < self.slots.len(),
+                        "schedule produced out-of-range {pid}"
+                    );
+                    let finished = self.advance(pid, &mut schedule);
+                    if finished && (support_total == 0 || in_support[pid.index()]) {
+                        support_done += 1;
+                    }
+                }
+            }
+        };
+
+        self.into_report(reason)
+    }
+
+    fn into_report(self, reason: StopReason) -> RunReport<P> {
+        let mut outputs = Vec::with_capacity(self.slots.len());
+        let mut processes = Vec::with_capacity(self.slots.len());
+        for slot in self.slots {
+            match slot {
+                Slot::Running { proc, .. } => {
+                    outputs.push(None);
+                    processes.push(proc);
+                }
+                Slot::Done { proc, output } => {
+                    outputs.push(Some(output));
+                    processes.push(proc);
+                }
+                Slot::Vacant => unreachable!("vacant slot after run"),
+            }
+        }
+
+        RunReport {
+            outputs,
+            processes,
+            metrics: self.metrics,
+            memory: self.memory,
+            trace: self.trace,
+            stop_reason: reason,
+        }
+    }
+}
+
+/// What an adaptive adversary sees before choosing the next step: every
+/// live process (with its internal state and pending operation) and the
+/// shared memory.
+pub struct AdaptiveView<'a, P: Process> {
+    /// Live processes: id, state machine, and the operation each will
+    /// execute when scheduled.
+    pub live: &'a [(ProcessId, &'a P, &'a Op<P::Value>)],
+    /// Read access to the shared memory contents.
+    pub memory: &'a Memory<P::Value>,
+}
+
+/// Internal placeholder schedule for adaptive runs (completion
+/// notifications are dropped).
+struct NoopSchedule;
+
+impl Schedule for NoopSchedule {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        unreachable!("adaptive runs do not pull from a schedule")
+    }
+}
+
+/// Everything known after a run.
+#[derive(Debug)]
+pub struct RunReport<P: Process> {
+    /// Per-process output; `None` if the process never finished (crashed
+    /// or starved by a finite schedule).
+    pub outputs: Vec<Option<P::Output>>,
+    /// The (final-state) process state machines, for post-hoc probes.
+    pub processes: Vec<P>,
+    /// Step accounting.
+    pub metrics: Metrics,
+    /// Final memory state, for assertions on shared objects.
+    pub memory: Memory<P::Value>,
+    /// The execution trace, if recording was enabled.
+    pub trace: Option<Trace>,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
+}
+
+impl<P: Process> RunReport<P> {
+    /// Returns `true` if every process produced an output.
+    pub fn all_decided(&self) -> bool {
+        self.outputs.iter().all(Option::is_some)
+    }
+
+    /// Iterates over the outputs of processes that finished.
+    pub fn decided(&self) -> impl Iterator<Item = &P::Output> {
+        self.outputs.iter().filter_map(Option::as_ref)
+    }
+
+    /// Unwraps all outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process did not finish.
+    pub fn unwrap_outputs(self) -> Vec<P::Output> {
+        self.outputs
+            .into_iter()
+            .map(|o| o.expect("process did not finish"))
+            .collect()
+    }
+}
+
+impl<P: Process> RunReport<P>
+where
+    P::Output: PartialEq,
+{
+    /// Returns `true` if all *decided* outputs are equal (vacuously true
+    /// when fewer than two processes decided).
+    pub fn outputs_agree(&self) -> bool {
+        let mut decided = self.decided();
+        match decided.next() {
+            None => true,
+            Some(first) => decided.all(|o| o == first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegisterId;
+    use crate::layout::LayoutBuilder;
+    use crate::op::OpResult;
+    use crate::schedule::{FixedSchedule, RoundRobin};
+
+    /// Writes `input` to the register, reads it back, returns what it saw.
+    struct WriteRead {
+        reg: RegisterId,
+        input: u32,
+        phase: u8,
+    }
+
+    impl WriteRead {
+        fn new(reg: RegisterId, input: u32) -> Self {
+            Self {
+                reg,
+                input,
+                phase: 0,
+            }
+        }
+    }
+
+    impl Process for WriteRead {
+        type Value = u32;
+        type Output = u32;
+
+        fn step(&mut self, prev: Option<OpResult<u32>>) -> Step<u32, u32> {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Step::Issue(Op::RegisterWrite(self.reg, self.input))
+                }
+                1 => {
+                    self.phase = 2;
+                    Step::Issue(Op::RegisterRead(self.reg))
+                }
+                _ => Step::Done(prev.unwrap().expect_register().unwrap()),
+            }
+        }
+    }
+
+    fn one_register() -> (crate::layout::Layout, RegisterId) {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        (b.build(), r)
+    }
+
+    #[test]
+    fn round_robin_interleaves_atomically() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let report = Engine::new(&layout, procs).run(RoundRobin::new(2));
+        // Slots: p0 writes 1, p1 writes 2, p0 reads (sees 2), p1 reads (2).
+        assert_eq!(report.outputs, vec![Some(2), Some(2)]);
+        assert_eq!(report.metrics.total_steps, 4);
+        assert_eq!(report.stop_reason, StopReason::AllDone);
+        assert!(report.all_decided());
+        assert!(report.outputs_agree());
+    }
+
+    #[test]
+    fn fixed_schedule_controls_interleaving() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        // p0 runs solo first: sees its own write.
+        let report =
+            Engine::new(&layout, procs).run(FixedSchedule::from_indices([0, 0, 1, 1]));
+        assert_eq!(report.outputs, vec![Some(1), Some(2)]);
+        assert!(!report.outputs_agree());
+    }
+
+    #[test]
+    fn finite_schedule_leaves_pending() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let report = Engine::new(&layout, procs).run(FixedSchedule::from_indices([0]));
+        assert_eq!(report.stop_reason, StopReason::ScheduleExhausted);
+        assert_eq!(report.outputs, vec![None, None]);
+        assert!(!report.all_decided());
+        assert!(report.outputs_agree(), "vacuous agreement with no outputs");
+    }
+
+    #[test]
+    fn slot_limit_stops_run() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let mut engine = Engine::new(&layout, procs);
+        engine.limit_slots(3);
+        let report = engine.run(RoundRobin::new(2));
+        assert_eq!(report.stop_reason, StopReason::SlotLimit);
+        assert_eq!(report.metrics.total_ops, 3);
+    }
+
+    #[test]
+    fn skips_finished_processes_for_free() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        // p0 finishes after two ops; its two extra slots are skipped and
+        // not charged while p1 is still running.
+        let report =
+            Engine::new(&layout, procs).run(FixedSchedule::from_indices([0, 0, 0, 0, 1, 1]));
+        assert_eq!(report.metrics.total_ops, 4);
+        assert_eq!(report.metrics.skipped_slots, 2);
+        assert_eq!(report.outputs, vec![Some(1), Some(2)]);
+        assert_eq!(report.stop_reason, StopReason::AllDone);
+    }
+
+    #[test]
+    fn immediately_done_process_costs_nothing() {
+        struct Instant;
+        impl Process for Instant {
+            type Value = u32;
+            type Output = u8;
+            fn step(&mut self, _prev: Option<OpResult<u32>>) -> Step<u32, u8> {
+                Step::Done(7)
+            }
+        }
+        let (layout, _r) = one_register();
+        let report = Engine::new(&layout, vec![Instant]).run(RoundRobin::new(1));
+        assert_eq!(report.outputs, vec![Some(7)]);
+        assert_eq!(report.metrics.total_steps, 0);
+        assert_eq!(report.stop_reason, StopReason::AllDone);
+    }
+
+    #[test]
+    fn trace_records_charged_ops() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let mut engine = Engine::new(&layout, procs);
+        engine.enable_trace();
+        let report = engine.run(RoundRobin::new(2));
+        let trace = report.trace.expect("trace enabled");
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.by_process(ProcessId(0)).count(), 2);
+    }
+
+    #[test]
+    fn unwrap_outputs_returns_all() {
+        let (layout, r) = one_register();
+        let report =
+            Engine::new(&layout, vec![WriteRead::new(r, 9)]).run(RoundRobin::new(1));
+        assert_eq!(report.unwrap_outputs(), vec![9]);
+    }
+
+    #[test]
+    fn adaptive_run_with_lowest_id_chooser_matches_blocks() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let report = Engine::new(&layout, procs).run_adaptive(|view| {
+            view.live.iter().map(|(pid, _, _)| *pid).min().unwrap()
+        });
+        // Lowest-live-id scheduling is exactly block-sequential order.
+        assert_eq!(report.outputs, vec![Some(1), Some(2)]);
+        assert_eq!(report.metrics.total_steps, 4);
+        assert_eq!(report.stop_reason, StopReason::AllDone);
+    }
+
+    #[test]
+    fn adaptive_chooser_sees_pending_ops_and_memory() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 7), WriteRead::new(r, 8)];
+        let mut saw_write = false;
+        let mut saw_read = false;
+        let report = Engine::new(&layout, procs).run_adaptive(|view| {
+            for (_, _, op) in view.live {
+                match op {
+                    Op::RegisterWrite(_, _) => saw_write = true,
+                    Op::RegisterRead(_) => saw_read = true,
+                    _ => {}
+                }
+            }
+            let _ = view.memory.peek_register(r);
+            view.live.iter().map(|(pid, _, _)| *pid).max().unwrap()
+        });
+        assert!(saw_write && saw_read, "adversary observes pending operations");
+        assert!(report.all_decided());
+    }
+
+    #[test]
+    fn adaptive_run_respects_slot_limit() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let mut engine = Engine::new(&layout, procs);
+        engine.limit_slots(3);
+        let report = engine.run_adaptive(|view| view.live[0].0);
+        assert_eq!(report.stop_reason, StopReason::SlotLimit);
+        assert_eq!(report.metrics.total_ops, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn adaptive_chooser_cannot_pick_finished_process() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let _ = Engine::new(&layout, procs).run_adaptive(|_| ProcessId(0));
+        // p0 finishes after two of its own steps; choosing it again panics.
+    }
+
+    #[test]
+    #[should_panic(expected = "did not finish")]
+    fn unwrap_outputs_panics_on_pending() {
+        let (layout, r) = one_register();
+        let report = Engine::new(&layout, vec![WriteRead::new(r, 9)])
+            .run(FixedSchedule::from_indices([0]));
+        let _ = report.unwrap_outputs();
+    }
+}

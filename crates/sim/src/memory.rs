@@ -1,0 +1,231 @@
+//! The simulated shared memory: an arena of registers, snapshot objects,
+//! and max registers, executing one [`Op`] atomically per call.
+
+use crate::ids::{MaxRegisterId, RegisterId, SnapshotId};
+use crate::layout::Layout;
+use crate::max_register::MaxRegister;
+use crate::op::{Op, OpResult};
+use crate::register::Register;
+use crate::snapshot::SnapshotObject;
+use crate::value::Value;
+
+/// How steps are charged for snapshot operations.
+///
+/// The paper's §2 assumes the *unit-cost snapshot model*: a scan costs one
+/// step. To quantify what the algorithms would cost over plain registers,
+/// [`CostModel::RegisterImplemented`] charges each snapshot operation the
+/// `O(n)` steps of a register-based snapshot implementation instead.
+/// Register and max-register operations cost 1 in both models (max
+/// registers can be made polylogarithmic from registers, which
+/// `sift-shmem` demonstrates; here they stay unit-cost as in footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Every operation costs one step (the paper's accounting).
+    #[default]
+    UnitCost,
+    /// Snapshot scans and updates cost `n` steps (`n` = component count),
+    /// modelling a linear-time register-based snapshot.
+    RegisterImplemented,
+}
+
+/// Simulated shared memory.
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::layout::LayoutBuilder;
+/// use sift_sim::memory::Memory;
+/// use sift_sim::op::Op;
+///
+/// let mut b = LayoutBuilder::new();
+/// let r = b.register();
+/// let mut mem: Memory<u32> = Memory::new(&b.build());
+/// mem.execute(Op::RegisterWrite(r, 7)).expect_ack();
+/// assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory<V> {
+    registers: Vec<Register<V>>,
+    snapshots: Vec<SnapshotObject<V>>,
+    max_registers: Vec<MaxRegister<V>>,
+    cost_model: CostModel,
+    ops_executed: u64,
+}
+
+impl<V: Value> Memory<V> {
+    /// Instantiates memory for `layout` with the unit-cost model.
+    pub fn new(layout: &Layout) -> Self {
+        Self::with_cost_model(layout, CostModel::UnitCost)
+    }
+
+    /// Instantiates memory for `layout` with an explicit cost model.
+    pub fn with_cost_model(layout: &Layout, cost_model: CostModel) -> Self {
+        Self {
+            registers: (0..layout.register_count()).map(|_| Register::new()).collect(),
+            snapshots: layout
+                .snapshot_components()
+                .iter()
+                .map(|&c| SnapshotObject::new(c))
+                .collect(),
+            max_registers: (0..layout.max_register_count())
+                .map(|_| MaxRegister::new())
+                .collect(),
+            cost_model,
+            ops_executed: 0,
+        }
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// Executes one operation atomically and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range for the layout this memory was
+    /// built from, or if a snapshot component index is out of range. Both
+    /// indicate protocol construction bugs.
+    pub fn execute(&mut self, op: Op<V>) -> OpResult<V> {
+        self.ops_executed += 1;
+        match op {
+            Op::RegisterRead(id) => {
+                OpResult::RegisterValue(self.register_mut(id).read().cloned())
+            }
+            Op::RegisterWrite(id, v) => {
+                self.register_mut(id).write(v);
+                OpResult::Ack
+            }
+            Op::SnapshotUpdate(id, component, v) => {
+                self.snapshot_mut(id).update(component, v);
+                OpResult::Ack
+            }
+            Op::SnapshotScan(id) => OpResult::SnapshotView(self.snapshot_mut(id).scan()),
+            Op::MaxRead(id) => OpResult::MaxValue(
+                self.max_register_mut(id)
+                    .read()
+                    .map(|(k, v)| (k, v.clone())),
+            ),
+            Op::MaxWrite(id, key, v) => {
+                self.max_register_mut(id).write(key, v);
+                OpResult::Ack
+            }
+        }
+    }
+
+    /// Step cost of `op` under the configured cost model.
+    pub fn cost(&self, op: &Op<V>) -> u64 {
+        match (self.cost_model, op) {
+            (CostModel::RegisterImplemented, Op::SnapshotScan(id))
+            | (CostModel::RegisterImplemented, Op::SnapshotUpdate(id, _, _)) => {
+                self.snapshots[id.index()].len().max(1) as u64
+            }
+            _ => 1,
+        }
+    }
+
+    /// Total operations executed so far.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Read-only access to a register, for probes and assertions.
+    pub fn peek_register(&self, id: RegisterId) -> Option<&V> {
+        self.registers[id.index()].peek()
+    }
+
+    /// Read-only access to a max register, for probes and assertions.
+    pub fn peek_max_register(&self, id: MaxRegisterId) -> Option<(u64, &V)> {
+        self.max_registers[id.index()].peek()
+    }
+
+    fn register_mut(&mut self, id: RegisterId) -> &mut Register<V> {
+        &mut self.registers[id.index()]
+    }
+
+    fn snapshot_mut(&mut self, id: SnapshotId) -> &mut SnapshotObject<V> {
+        &mut self.snapshots[id.index()]
+    }
+
+    fn max_register_mut(&mut self, id: MaxRegisterId) -> &mut MaxRegister<V> {
+        &mut self.max_registers[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutBuilder;
+
+    fn small_memory() -> (Memory<u32>, RegisterId, SnapshotId, MaxRegisterId) {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let s = b.snapshot(3);
+        let m = b.max_register();
+        (Memory::new(&b.build()), r, s, m)
+    }
+
+    #[test]
+    fn register_round_trip() {
+        let (mut mem, r, _, _) = small_memory();
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), None);
+        mem.execute(Op::RegisterWrite(r, 5)).expect_ack();
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(5));
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let (mut mem, _, s, _) = small_memory();
+        mem.execute(Op::SnapshotUpdate(s, 1, 10)).expect_ack();
+        let view = mem.execute(Op::SnapshotScan(s)).expect_view();
+        assert_eq!(&view[..], &[None, Some(10), None]);
+    }
+
+    #[test]
+    fn max_register_round_trip() {
+        let (mut mem, _, _, m) = small_memory();
+        assert_eq!(mem.execute(Op::MaxRead(m)).expect_max(), None);
+        mem.execute(Op::MaxWrite(m, 4, 40)).expect_ack();
+        mem.execute(Op::MaxWrite(m, 2, 20)).expect_ack();
+        assert_eq!(mem.execute(Op::MaxRead(m)).expect_max(), Some((4, 40)));
+    }
+
+    #[test]
+    fn unit_cost_model_charges_one() {
+        let (mem, r, s, m) = small_memory();
+        assert_eq!(mem.cost(&Op::RegisterRead(r)), 1);
+        assert_eq!(mem.cost(&Op::SnapshotScan(s)), 1);
+        assert_eq!(mem.cost(&Op::MaxRead(m)), 1);
+    }
+
+    #[test]
+    fn register_cost_model_charges_n_for_snapshots() {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let s = b.snapshot(16);
+        let mem: Memory<u32> =
+            Memory::with_cost_model(&b.build(), CostModel::RegisterImplemented);
+        assert_eq!(mem.cost(&Op::SnapshotScan(s)), 16);
+        assert_eq!(mem.cost(&Op::SnapshotUpdate(s, 0, 1)), 16);
+        assert_eq!(mem.cost(&Op::RegisterRead(r)), 1);
+        assert_eq!(mem.cost_model(), CostModel::RegisterImplemented);
+    }
+
+    #[test]
+    fn counts_total_ops() {
+        let (mut mem, r, _, _) = small_memory();
+        mem.execute(Op::RegisterWrite(r, 1)).expect_ack();
+        let _ = mem.execute(Op::RegisterRead(r));
+        assert_eq!(mem.ops_executed(), 2);
+    }
+
+    #[test]
+    fn peeks_do_not_count() {
+        let (mut mem, r, _, m) = small_memory();
+        mem.execute(Op::RegisterWrite(r, 1)).expect_ack();
+        assert_eq!(mem.peek_register(r), Some(&1));
+        assert_eq!(mem.peek_max_register(m), None);
+        assert_eq!(mem.ops_executed(), 1);
+    }
+}

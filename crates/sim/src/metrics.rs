@@ -1,0 +1,126 @@
+//! Step accounting for simulated executions.
+//!
+//! The paper's complexity measures are *individual step complexity* (the
+//! maximum or expected number of operations executed by one process) and
+//! *total step complexity* (the sum over all processes). Slots scheduled
+//! to finished processes are no-ops and are not charged (§1.1).
+
+use crate::op::OpKind;
+
+/// Step counts collected by the [`Engine`](crate::engine::Engine).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Metrics {
+    /// Cost-weighted steps (equals `total_ops` under the unit-cost
+    /// model).
+    pub total_steps: u64,
+    /// Raw operation count.
+    pub total_ops: u64,
+    /// Cost-weighted steps per process.
+    pub per_process_steps: Vec<u64>,
+    /// Raw operations per process.
+    pub per_process_ops: Vec<u64>,
+    /// Scheduled slots given to already-finished processes (free).
+    pub skipped_slots: u64,
+    /// Operation counts by kind, indexed by [`op_kind_index`].
+    pub ops_by_kind: [u64; 6],
+}
+
+/// Dense index of an [`OpKind`] into [`Metrics::ops_by_kind`].
+pub fn op_kind_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::RegisterRead => 0,
+        OpKind::RegisterWrite => 1,
+        OpKind::SnapshotUpdate => 2,
+        OpKind::SnapshotScan => 3,
+        OpKind::MaxRead => 4,
+        OpKind::MaxWrite => 5,
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_process_steps: vec![0; n],
+            per_process_ops: vec![0; n],
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn record(&mut self, pid: usize, kind: OpKind, cost: u64) {
+        self.total_steps += cost;
+        self.total_ops += 1;
+        self.per_process_steps[pid] += cost;
+        self.per_process_ops[pid] += 1;
+        self.ops_by_kind[op_kind_index(kind)] += 1;
+    }
+
+    pub(crate) fn record_skip(&mut self) {
+        self.skipped_slots += 1;
+    }
+
+    /// The worst-case individual step complexity observed.
+    pub fn max_individual_steps(&self) -> u64 {
+        self.per_process_steps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The mean individual step complexity observed.
+    pub fn mean_individual_steps(&self) -> f64 {
+        if self.per_process_steps.is_empty() {
+            return 0.0;
+        }
+        self.total_steps as f64 / self.per_process_steps.len() as f64
+    }
+
+    /// Operations of a given kind.
+    pub fn ops_of_kind(&self, kind: OpKind) -> u64 {
+        self.ops_by_kind[op_kind_index(kind)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = Metrics::new(2);
+        m.record(0, OpKind::RegisterRead, 1);
+        m.record(0, OpKind::RegisterWrite, 1);
+        m.record(1, OpKind::SnapshotScan, 4);
+        m.record_skip();
+        assert_eq!(m.total_steps, 6);
+        assert_eq!(m.total_ops, 3);
+        assert_eq!(m.per_process_steps, vec![2, 4]);
+        assert_eq!(m.per_process_ops, vec![2, 1]);
+        assert_eq!(m.skipped_slots, 1);
+        assert_eq!(m.ops_of_kind(OpKind::RegisterRead), 1);
+        assert_eq!(m.ops_of_kind(OpKind::SnapshotScan), 1);
+        assert_eq!(m.max_individual_steps(), 4);
+        assert!((m.mean_individual_steps() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = Metrics::new(0);
+        assert_eq!(m.max_individual_steps(), 0);
+        assert_eq!(m.mean_individual_steps(), 0.0);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_distinct() {
+        use std::collections::HashSet;
+        let kinds = [
+            OpKind::RegisterRead,
+            OpKind::RegisterWrite,
+            OpKind::SnapshotUpdate,
+            OpKind::SnapshotScan,
+            OpKind::MaxRead,
+            OpKind::MaxWrite,
+        ];
+        let idx: HashSet<usize> = kinds.iter().map(|&k| op_kind_index(k)).collect();
+        assert_eq!(idx.len(), 6);
+        assert!(idx.iter().all(|&i| i < 6));
+    }
+}

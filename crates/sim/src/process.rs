@@ -1,0 +1,142 @@
+//! The process abstraction: resumable state machines that issue one
+//! shared-memory operation per scheduled step.
+//!
+//! Protocols are written once as [`Process`] implementations and can then
+//! be driven by any runtime: the deterministic simulator
+//! ([`Engine`](crate::engine::Engine)) or a threaded runtime over real
+//! atomics (`sift-shmem`).
+
+use crate::op::{Op, OpResult};
+use crate::value::Value;
+
+/// What a process does next.
+#[derive(Debug)]
+pub enum Step<V, O> {
+    /// Issue one shared-memory operation; the process will be resumed
+    /// with its result.
+    Issue(Op<V>),
+    /// The protocol has finished with `output`. Any further scheduled
+    /// slots become free no-ops (§1.1 of the paper).
+    Done(O),
+}
+
+/// A resumable protocol state machine.
+///
+/// The driver calls [`step`](Process::step) with `None` once before the
+/// process's first scheduled step, and thereafter with `Some(result)` of
+/// the previously issued operation. Local computation inside `step` is
+/// free; only issued operations cost steps, which matches the model's
+/// step accounting.
+///
+/// # Examples
+///
+/// A process that writes its input to a register and then reads the
+/// register back as its output:
+///
+/// ```
+/// use sift_sim::{Op, OpResult, Process, RegisterId, Step};
+///
+/// struct WriteThenRead {
+///     reg: RegisterId,
+///     input: u32,
+///     wrote: bool,
+/// }
+///
+/// impl Process for WriteThenRead {
+///     type Value = u32;
+///     type Output = Option<u32>;
+///
+///     fn step(&mut self, prev: Option<OpResult<u32>>) -> Step<u32, Option<u32>> {
+///         match prev {
+///             None => Step::Issue(Op::RegisterWrite(self.reg, self.input)),
+///             Some(OpResult::Ack) if !self.wrote => {
+///                 self.wrote = true;
+///                 Step::Issue(Op::RegisterRead(self.reg))
+///             }
+///             Some(result) => Step::Done(result.expect_register()),
+///             _ => unreachable!(),
+///         }
+///     }
+/// }
+/// ```
+pub trait Process {
+    /// The value type stored in shared memory.
+    type Value: Value;
+    /// The protocol's return value.
+    type Output;
+
+    /// Advances the state machine.
+    ///
+    /// `prev` is `None` exactly once, before the first operation; after
+    /// that it carries the result of the operation issued by the previous
+    /// call. Implementations must not be called again after returning
+    /// [`Step::Done`].
+    fn step(&mut self, prev: Option<OpResult<Self::Value>>) -> Step<Self::Value, Self::Output>;
+}
+
+impl<P: Process + ?Sized> Process for Box<P> {
+    type Value = P::Value;
+    type Output = P::Output;
+
+    fn step(&mut self, prev: Option<OpResult<Self::Value>>) -> Step<Self::Value, Self::Output> {
+        (**self).step(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegisterId;
+
+    struct Immediate;
+
+    impl Process for Immediate {
+        type Value = u32;
+        type Output = &'static str;
+
+        fn step(&mut self, _prev: Option<OpResult<u32>>) -> Step<u32, &'static str> {
+            Step::Done("done")
+        }
+    }
+
+    #[test]
+    fn boxed_process_delegates() {
+        let mut p: Box<dyn Process<Value = u32, Output = &'static str>> = Box::new(Immediate);
+        match p.step(None) {
+            Step::Done(s) => assert_eq!(s, "done"),
+            Step::Issue(_) => panic!("expected immediate completion"),
+        }
+    }
+
+    struct OneOp {
+        reg: RegisterId,
+        fired: bool,
+    }
+
+    impl Process for OneOp {
+        type Value = u32;
+        type Output = Option<u32>;
+
+        fn step(&mut self, prev: Option<OpResult<u32>>) -> Step<u32, Option<u32>> {
+            if !self.fired {
+                self.fired = true;
+                Step::Issue(Op::RegisterRead(self.reg))
+            } else {
+                Step::Done(prev.expect("resumed with a result").expect_register())
+            }
+        }
+    }
+
+    #[test]
+    fn issue_then_done() {
+        let mut p = OneOp {
+            reg: RegisterId(0),
+            fired: false,
+        };
+        assert!(matches!(p.step(None), Step::Issue(Op::RegisterRead(_))));
+        assert!(matches!(
+            p.step(Some(OpResult::RegisterValue(Some(4)))),
+            Step::Done(Some(4))
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! Atomic multi-writer multi-reader registers for the simulator.
+
+use crate::value::Value;
+
+/// A multi-writer multi-reader atomic register, initially ⊥ (`None`).
+///
+/// In the simulator every operation executes atomically at its scheduled
+/// step, so a plain cell is a faithful register. Registers are unbounded
+/// (§1.1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::register::Register;
+/// let mut r = Register::new();
+/// assert_eq!(r.read(), None);
+/// r.write(42u32);
+/// assert_eq!(r.read(), Some(&42));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Register<V> {
+    value: Option<V>,
+    writes: u64,
+    reads: u64,
+}
+
+impl<V: Value> Register<V> {
+    /// Creates a register holding ⊥.
+    pub fn new() -> Self {
+        Self {
+            value: None,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Reads the register; `None` is ⊥.
+    pub fn read(&mut self) -> Option<&V> {
+        self.reads += 1;
+        self.value.as_ref()
+    }
+
+    /// Writes `value`.
+    pub fn write(&mut self, value: V) {
+        self.writes += 1;
+        self.value = Some(value);
+    }
+
+    /// Returns the current value without counting a read (for probes and
+    /// assertions, not for protocol logic).
+    pub fn peek(&self) -> Option<&V> {
+        self.value.as_ref()
+    }
+
+    /// Number of write operations executed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of read operations executed.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_bottom() {
+        let mut r: Register<u64> = Register::new();
+        assert_eq!(r.read(), None);
+        assert_eq!(r.peek(), None);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut r = Register::new();
+        r.write(1u8);
+        r.write(2u8);
+        assert_eq!(r.read(), Some(&2));
+    }
+
+    #[test]
+    fn counts_ops() {
+        let mut r = Register::new();
+        r.write(1u8);
+        let _ = r.read();
+        let _ = r.read();
+        let _ = r.peek();
+        assert_eq!(r.write_count(), 1);
+        assert_eq!(r.read_count(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! The block-sequential ("solo") schedule.
+
+use super::Schedule;
+use crate::ids::ProcessId;
+use crate::rng::Xoshiro256StarStar;
+
+/// Runs each process solo to completion, in a fixed order.
+///
+/// This is the adversary that maximizes individual step complexity for
+/// protocols like Chor–Israeli–Li, where a process running alone must
+/// keep retrying (expected `Θ(n)` solo steps), while the paper's
+/// conciliators stay at their worst-case bounds.
+///
+/// Completion feedback ([`Schedule::on_done`]) is used only to advance to
+/// the next block; this is equivalent to an oblivious schedule whose
+/// blocks are long enough for any execution, since slots given to a
+/// finished process are free no-ops (§1.1).
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::schedule::{BlockSequential, Schedule};
+/// use sift_sim::ProcessId;
+/// let mut s = BlockSequential::new(vec![ProcessId(1), ProcessId(0)]);
+/// assert_eq!(s.next_pid(), Some(ProcessId(1)));
+/// assert_eq!(s.next_pid(), Some(ProcessId(1)));
+/// s.on_done(ProcessId(1));
+/// assert_eq!(s.next_pid(), Some(ProcessId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockSequential {
+    order: Vec<ProcessId>,
+    current: usize,
+}
+
+impl BlockSequential {
+    /// Creates a block-sequential schedule over `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty.
+    pub fn new(order: Vec<ProcessId>) -> Self {
+        assert!(!order.is_empty(), "block schedule needs at least one process");
+        Self { order, current: 0 }
+    }
+
+    /// Identity order `0, 1, …, n-1`.
+    pub fn in_order(n: usize) -> Self {
+        Self::new((0..n).map(ProcessId).collect())
+    }
+
+    /// A uniformly shuffled order, drawn from the schedule's own seed.
+    pub fn shuffled(n: usize, seed: u64) -> Self {
+        let mut order: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.range_u64((i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        Self::new(order)
+    }
+}
+
+impl Schedule for BlockSequential {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        self.order.get(self.current).copied()
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        self.order.clone()
+    }
+
+    fn on_done(&mut self, pid: ProcessId) {
+        if self.order.get(self.current) == Some(&pid) {
+            self.current += 1;
+            // Skip processes that already finished passively (e.g. done
+            // before their block started).
+            // Their slots would be free no-ops; skipping is equivalent.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_on_current_until_done() {
+        let mut s = BlockSequential::in_order(3);
+        for _ in 0..5 {
+            assert_eq!(s.next_pid(), Some(ProcessId(0)));
+        }
+        s.on_done(ProcessId(0));
+        assert_eq!(s.next_pid(), Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn ignores_done_of_other_processes() {
+        let mut s = BlockSequential::in_order(3);
+        s.on_done(ProcessId(2));
+        assert_eq!(s.next_pid(), Some(ProcessId(0)));
+    }
+
+    #[test]
+    fn exhausts_after_all_done() {
+        let mut s = BlockSequential::in_order(2);
+        s.on_done(ProcessId(0));
+        s.on_done(ProcessId(1));
+        assert_eq!(s.next_pid(), None);
+    }
+
+    #[test]
+    fn shuffled_is_a_permutation() {
+        let s = BlockSequential::shuffled(10, 5);
+        let mut ids: Vec<usize> = s.support().iter().map(|p| p.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_differs_across_seeds() {
+        let a = BlockSequential::shuffled(16, 1).support();
+        let b = BlockSequential::shuffled(16, 2).support();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_order_panics() {
+        BlockSequential::new(Vec::new());
+    }
+}

@@ -1,0 +1,137 @@
+//! Crash-failure schedules for wait-freedom tests.
+
+use std::collections::BTreeSet;
+
+use super::Schedule;
+use crate::ids::ProcessId;
+use crate::rng::Xoshiro256StarStar;
+
+/// Wraps a schedule and silently drops a fixed set of crashed processes.
+///
+/// In the asynchronous model a crash is indistinguishable from never
+/// being scheduled again; wait-free protocols must let the surviving
+/// processes finish regardless. The crash set is chosen before the run
+/// (obliviously).
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::schedule::{CrashSubset, RoundRobin, Schedule};
+/// use sift_sim::ProcessId;
+/// let mut s = CrashSubset::new(RoundRobin::new(3), vec![ProcessId(1)]);
+/// assert_eq!(s.next_pid(), Some(ProcessId(0)));
+/// assert_eq!(s.next_pid(), Some(ProcessId(2))); // p1 skipped
+/// assert_eq!(s.support().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashSubset<S> {
+    inner: S,
+    crashed: BTreeSet<ProcessId>,
+}
+
+impl<S: Schedule> CrashSubset<S> {
+    /// Crashes the given processes of `inner`.
+    pub fn new(inner: S, crashed: impl IntoIterator<Item = ProcessId>) -> Self {
+        Self {
+            inner,
+            crashed: crashed.into_iter().collect(),
+        }
+    }
+
+    /// Crashes a uniformly random subset of size `⌊n·fraction⌋`, leaving
+    /// at least one process alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `fraction` is not in `[0, 1]`.
+    pub fn random(inner: S, n: usize, fraction: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "crash fraction must be in [0, 1]"
+        );
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for i in (1..ids.len()).rev() {
+            let j = rng.range_u64((i + 1) as u64) as usize;
+            ids.swap(i, j);
+        }
+        let count = ((n as f64 * fraction) as usize).min(n - 1);
+        Self::new(inner, ids.into_iter().take(count).map(ProcessId))
+    }
+
+    /// The crashed processes.
+    pub fn crashed(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashed.iter().copied()
+    }
+}
+
+impl<S: Schedule> Schedule for CrashSubset<S> {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        // A crashed process's slots vanish; bounded retry in case the
+        // inner schedule is finite or heavily weighted toward crashed
+        // processes.
+        for _ in 0..1_000_000 {
+            match self.inner.next_pid() {
+                None => return None,
+                Some(pid) if self.crashed.contains(&pid) => continue,
+                Some(pid) => return Some(pid),
+            }
+        }
+        None
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        self.inner
+            .support()
+            .into_iter()
+            .filter(|pid| !self.crashed.contains(pid))
+            .collect()
+    }
+
+    fn on_done(&mut self, pid: ProcessId) {
+        self.inner.on_done(pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{RandomInterleave, RoundRobin};
+
+    #[test]
+    fn crashed_never_scheduled() {
+        let mut s = CrashSubset::new(RandomInterleave::new(8, 3), vec![ProcessId(2), ProcessId(5)]);
+        for _ in 0..500 {
+            let pid = s.next_pid().unwrap();
+            assert_ne!(pid.index(), 2);
+            assert_ne!(pid.index(), 5);
+        }
+    }
+
+    #[test]
+    fn random_crash_leaves_a_survivor() {
+        let s = CrashSubset::random(RoundRobin::new(4), 4, 1.0, 7);
+        assert!(!s.support().is_empty());
+        assert_eq!(s.crashed().count(), 3);
+    }
+
+    #[test]
+    fn random_crash_fraction_counts() {
+        let s = CrashSubset::random(RoundRobin::new(10), 10, 0.3, 1);
+        assert_eq!(s.crashed().count(), 3);
+        assert_eq!(s.support().len(), 7);
+    }
+
+    #[test]
+    fn zero_fraction_crashes_nobody() {
+        let s = CrashSubset::random(RoundRobin::new(5), 5, 0.0, 1);
+        assert_eq!(s.crashed().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        CrashSubset::random(RoundRobin::new(2), 2, 1.5, 0);
+    }
+}

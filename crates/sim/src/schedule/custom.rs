@@ -1,0 +1,123 @@
+//! Explicit schedules for tests and hand-crafted adversaries.
+
+use super::Schedule;
+use crate::ids::ProcessId;
+
+/// A finite, fully explicit schedule.
+///
+/// The run ends when the sequence is exhausted; processes that have not
+/// finished by then are reported as pending by the engine. Useful for
+/// unit tests that pin down exact interleavings.
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::schedule::{FixedSchedule, Schedule};
+/// use sift_sim::ProcessId;
+/// let mut s = FixedSchedule::new(vec![ProcessId(0), ProcessId(1), ProcessId(0)]);
+/// assert_eq!(s.next_pid(), Some(ProcessId(0)));
+/// assert_eq!(s.next_pid(), Some(ProcessId(1)));
+/// assert_eq!(s.next_pid(), Some(ProcessId(0)));
+/// assert_eq!(s.next_pid(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    slots: std::vec::IntoIter<ProcessId>,
+}
+
+impl FixedSchedule {
+    /// Creates a schedule from an explicit slot sequence.
+    pub fn new(slots: Vec<ProcessId>) -> Self {
+        Self {
+            slots: slots.into_iter(),
+        }
+    }
+
+    /// Builds a schedule from raw indices.
+    pub fn from_indices(slots: impl IntoIterator<Item = usize>) -> Self {
+        Self::new(slots.into_iter().map(ProcessId).collect())
+    }
+}
+
+impl Schedule for FixedSchedule {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        self.slots.next()
+    }
+}
+
+/// Repeats a finite pattern forever.
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::schedule::{RepeatingSchedule, Schedule};
+/// let mut s = RepeatingSchedule::from_indices([0, 0, 1]);
+/// let seq: Vec<usize> = (0..6).map(|_| s.next_pid().unwrap().index()).collect();
+/// assert_eq!(seq, vec![0, 0, 1, 0, 0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepeatingSchedule {
+    pattern: Vec<ProcessId>,
+    pos: usize,
+}
+
+impl RepeatingSchedule {
+    /// Creates a repeating schedule from a non-empty pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    pub fn new(pattern: Vec<ProcessId>) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        Self { pattern, pos: 0 }
+    }
+
+    /// Builds a repeating schedule from raw indices.
+    pub fn from_indices(pattern: impl IntoIterator<Item = usize>) -> Self {
+        Self::new(pattern.into_iter().map(ProcessId).collect())
+    }
+}
+
+impl Schedule for RepeatingSchedule {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        let pid = self.pattern[self.pos];
+        self.pos = (self.pos + 1) % self.pattern.len();
+        Some(pid)
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        let mut pids = self.pattern.clone();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_exhausts() {
+        let mut s = FixedSchedule::from_indices([2, 1]);
+        assert_eq!(s.next_pid().unwrap().index(), 2);
+        assert_eq!(s.next_pid().unwrap().index(), 1);
+        assert_eq!(s.next_pid(), None);
+        assert!(s.support().is_empty());
+    }
+
+    #[test]
+    fn repeating_cycles_and_supports_unique_pids() {
+        let mut s = RepeatingSchedule::from_indices([1, 1, 3]);
+        let seq: Vec<usize> = (0..7).map(|_| s.next_pid().unwrap().index()).collect();
+        assert_eq!(seq, vec![1, 1, 3, 1, 1, 3, 1]);
+        let support: Vec<usize> = s.support().iter().map(|p| p.index()).collect();
+        assert_eq!(support, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        RepeatingSchedule::new(Vec::new());
+    }
+}

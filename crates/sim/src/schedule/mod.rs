@@ -1,0 +1,164 @@
+//! Oblivious adversary schedules.
+//!
+//! An oblivious adversary fixes a sequence of process ids *before* the
+//! execution starts; the coins flipped by processes are independent of
+//! this sequence (§1.1). Each implementation of [`Schedule`] is such a
+//! strategy. Schedule randomness (for the randomized strategies) comes
+//! from its own seed stream, never from process coins, so obliviousness
+//! holds by construction.
+//!
+//! Two pragmatic extensions, documented per type:
+//!
+//! * [`Schedule::on_done`] lets the engine inform the schedule that a
+//!   process finished. Strategies use this only to *skip wasted slots*
+//!   (e.g. [`BlockSequential`] moves to the next block). This is
+//!   equivalent to an oblivious schedule with sufficiently long fixed
+//!   blocks, because slots given to finished processes are free no-ops.
+//! * [`Schedule::support`] names the processes the strategy will schedule
+//!   until they finish; the engine stops once all of them are done, which
+//!   is how wait-freedom under crashes is exercised
+//!   ([`CrashSubset`]).
+
+mod block;
+mod crash;
+mod custom;
+mod random;
+mod round_robin;
+mod stutter;
+
+pub use block::BlockSequential;
+pub use crash::CrashSubset;
+pub use custom::{FixedSchedule, RepeatingSchedule};
+pub use random::{BlockRotation, RandomInterleave};
+pub use round_robin::RoundRobin;
+pub use stutter::Stutter;
+
+use crate::ids::ProcessId;
+
+/// An adversary strategy: a (possibly infinite) sequence of process ids.
+pub trait Schedule {
+    /// The next process to take a step, or `None` if the schedule is
+    /// exhausted.
+    fn next_pid(&mut self) -> Option<ProcessId>;
+
+    /// Processes this schedule keeps scheduling until they finish.
+    ///
+    /// The engine terminates the run once every supported process is
+    /// done. An empty support means the schedule is finite and the run
+    /// ends when it is exhausted.
+    fn support(&self) -> Vec<ProcessId> {
+        Vec::new()
+    }
+
+    /// Notification that `pid` has finished its protocol.
+    ///
+    /// Used only to skip slots that would be free no-ops anyway; see the
+    /// module documentation for why this preserves obliviousness.
+    fn on_done(&mut self, _pid: ProcessId) {}
+}
+
+impl<S: Schedule + ?Sized> Schedule for Box<S> {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        (**self).next_pid()
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        (**self).support()
+    }
+
+    fn on_done(&mut self, pid: ProcessId) {
+        (**self).on_done(pid)
+    }
+}
+
+/// The schedule families shipped with the simulator, for sweeps over
+/// adversary strategies (experiment E12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ScheduleKind {
+    /// Cyclic `0, 1, …, n-1, 0, …` ([`RoundRobin`]).
+    RoundRobin,
+    /// Uniformly random pid each slot ([`RandomInterleave`]).
+    RandomInterleave,
+    /// Random block order, each process solo to completion
+    /// ([`BlockSequential`]).
+    BlockSequential,
+    /// Random permutation blocks of fixed length ([`BlockRotation`]).
+    BlockRotation,
+    /// One designated slow process ([`Stutter`]).
+    Stutter,
+}
+
+impl ScheduleKind {
+    /// All shipped families.
+    pub fn all() -> [ScheduleKind; 5] {
+        [
+            ScheduleKind::RoundRobin,
+            ScheduleKind::RandomInterleave,
+            ScheduleKind::BlockSequential,
+            ScheduleKind::BlockRotation,
+            ScheduleKind::Stutter,
+        ]
+    }
+
+    /// Instantiates this family for `n` processes with schedule seed
+    /// `seed`.
+    pub fn build(self, n: usize, seed: u64) -> Box<dyn Schedule> {
+        match self {
+            ScheduleKind::RoundRobin => Box::new(RoundRobin::new(n)),
+            ScheduleKind::RandomInterleave => Box::new(RandomInterleave::new(n, seed)),
+            ScheduleKind::BlockSequential => Box::new(BlockSequential::shuffled(n, seed)),
+            ScheduleKind::BlockRotation => {
+                Box::new(BlockRotation::new(n, (n / 2).max(1), seed))
+            }
+            ScheduleKind::Stutter if n >= 2 => {
+                Box::new(Stutter::new(n, ProcessId(0), n as u64))
+            }
+            // A single process cannot be starved relative to others.
+            ScheduleKind::Stutter => Box::new(RoundRobin::new(n)),
+        }
+    }
+
+    /// A short stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::RoundRobin => "round-robin",
+            ScheduleKind::RandomInterleave => "random",
+            ScheduleKind::BlockSequential => "block-sequential",
+            ScheduleKind::BlockRotation => "block-rotation",
+            ScheduleKind::Stutter => "stutter",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_builds_working_schedules() {
+        for kind in ScheduleKind::all() {
+            let mut s = kind.build(4, 9);
+            for _ in 0..16 {
+                let pid = s.next_pid().expect("infinite schedule");
+                assert!(pid.index() < 4, "{} produced {pid}", kind.name());
+            }
+            assert!(!s.support().is_empty(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = ScheduleKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn boxed_schedule_delegates() {
+        let mut s: Box<dyn Schedule> = Box::new(RoundRobin::new(2));
+        assert_eq!(s.next_pid(), Some(ProcessId(0)));
+        assert_eq!(s.support().len(), 2);
+        s.on_done(ProcessId(0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Randomized oblivious schedules.
+
+use super::Schedule;
+use crate::ids::ProcessId;
+use crate::rng::Xoshiro256StarStar;
+
+/// Uniformly random process each slot.
+///
+/// The schedule's randomness comes from its own seed, fixed before the
+/// run, so it remains oblivious: the sequence of pids is independent of
+/// process coins.
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::schedule::{RandomInterleave, Schedule};
+/// let mut s = RandomInterleave::new(8, 42);
+/// for _ in 0..100 {
+///     assert!(s.next_pid().unwrap().index() < 8);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomInterleave {
+    n: usize,
+    rng: Xoshiro256StarStar,
+}
+
+impl RandomInterleave {
+    /// Creates a uniform random schedule over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "random interleave needs at least one process");
+        Self {
+            n,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Schedule for RandomInterleave {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        Some(ProcessId(self.rng.range_u64(self.n as u64) as usize))
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        (0..self.n).map(ProcessId).collect()
+    }
+}
+
+/// Random-permutation blocks: each pass schedules every process for
+/// `block_len` consecutive slots, in a freshly shuffled order.
+///
+/// Sits between [`RoundRobin`](super::RoundRobin) (block length 1) and
+/// [`BlockSequential`](super::BlockSequential) (blocks long enough to run
+/// solo to completion): an adversary that creates long solo runs while
+/// still interleaving rounds.
+#[derive(Debug, Clone)]
+pub struct BlockRotation {
+    n: usize,
+    block_len: usize,
+    order: Vec<usize>,
+    pos: usize,
+    remaining_in_block: usize,
+    rng: Xoshiro256StarStar,
+}
+
+impl BlockRotation {
+    /// Creates a block-rotation schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `block_len == 0`.
+    pub fn new(n: usize, block_len: usize, seed: u64) -> Self {
+        assert!(n > 0, "block rotation needs at least one process");
+        assert!(block_len > 0, "block length must be positive");
+        let mut s = Self {
+            n,
+            block_len,
+            order: (0..n).collect(),
+            pos: 0,
+            remaining_in_block: block_len,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+        };
+        s.shuffle();
+        s
+    }
+
+    fn shuffle(&mut self) {
+        // Fisher–Yates with the schedule's own generator.
+        for i in (1..self.order.len()).rev() {
+            let j = self.rng.range_u64((i + 1) as u64) as usize;
+            self.order.swap(i, j);
+        }
+        self.pos = 0;
+        self.remaining_in_block = self.block_len;
+    }
+}
+
+impl Schedule for BlockRotation {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        let pid = ProcessId(self.order[self.pos]);
+        self.remaining_in_block -= 1;
+        if self.remaining_in_block == 0 {
+            self.pos += 1;
+            self.remaining_in_block = self.block_len;
+            if self.pos == self.n {
+                self.shuffle();
+            }
+        }
+        Some(pid)
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        (0..self.n).map(ProcessId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_interleave_is_deterministic_per_seed() {
+        let mut a = RandomInterleave::new(5, 7);
+        let mut b = RandomInterleave::new(5, 7);
+        for _ in 0..50 {
+            assert_eq!(a.next_pid(), b.next_pid());
+        }
+    }
+
+    #[test]
+    fn random_interleave_covers_all_processes() {
+        let mut s = RandomInterleave::new(6, 1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[s.next_pid().unwrap().index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn block_rotation_runs_blocks() {
+        let mut s = BlockRotation::new(3, 4, 2);
+        let seq: Vec<usize> = (0..12).map(|_| s.next_pid().unwrap().index()).collect();
+        // Each block of 4 consecutive slots is a single process.
+        for chunk in seq.chunks(4) {
+            assert!(chunk.iter().all(|&p| p == chunk[0]), "{seq:?}");
+        }
+        // One pass covers all three processes.
+        let mut pass: Vec<usize> = seq.chunks(4).map(|c| c[0]).collect();
+        pass.sort_unstable();
+        assert_eq!(pass, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn block_rotation_reshuffles_between_passes() {
+        let mut s = BlockRotation::new(16, 1, 3);
+        let pass1: Vec<usize> = (0..16).map(|_| s.next_pid().unwrap().index()).collect();
+        let pass2: Vec<usize> = (0..16).map(|_| s.next_pid().unwrap().index()).collect();
+        let mut sorted1 = pass1.clone();
+        sorted1.sort_unstable();
+        assert_eq!(sorted1, (0..16).collect::<Vec<_>>());
+        assert_ne!(pass1, pass2, "passes should be independently shuffled");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_panics() {
+        RandomInterleave::new(0, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The stutter schedule: one designated slow process.
+
+use super::Schedule;
+use crate::ids::ProcessId;
+
+/// Round-robin over the fast processes, with one slow process scheduled
+/// only once every `period` slots.
+///
+/// Models a straggler: the adversary starves one process to see whether
+/// the protocol's outcome or the others' step counts depend on it.
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::schedule::{Schedule, Stutter};
+/// use sift_sim::ProcessId;
+/// let mut s = Stutter::new(3, ProcessId(2), 4);
+/// let seq: Vec<usize> = (0..8).map(|_| s.next_pid().unwrap().index()).collect();
+/// assert_eq!(seq, vec![0, 1, 0, 2, 1, 0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stutter {
+    n: usize,
+    slow: ProcessId,
+    period: u64,
+    slot: u64,
+    fast_next: usize,
+}
+
+impl Stutter {
+    /// Creates a stutter schedule over `n` processes, starving `slow` to
+    /// one slot in every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `slow.index() >= n`, or `period == 0`.
+    pub fn new(n: usize, slow: ProcessId, period: u64) -> Self {
+        assert!(n >= 2, "stutter needs at least two processes");
+        assert!(slow.index() < n, "slow process out of range");
+        assert!(period > 0, "period must be positive");
+        Self {
+            n,
+            slow,
+            period,
+            slot: 1,
+            fast_next: 0,
+        }
+    }
+
+    fn next_fast(&mut self) -> ProcessId {
+        loop {
+            let pid = ProcessId(self.fast_next);
+            self.fast_next = (self.fast_next + 1) % self.n;
+            if pid != self.slow {
+                return pid;
+            }
+        }
+    }
+}
+
+impl Schedule for Stutter {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        let slot = self.slot;
+        self.slot += 1;
+        if slot.is_multiple_of(self.period) {
+            Some(self.slow)
+        } else {
+            Some(self.next_fast())
+        }
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        (0..self.n).map(ProcessId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_appears_once_per_period() {
+        let mut s = Stutter::new(4, ProcessId(1), 5);
+        let seq: Vec<usize> = (0..50).map(|_| s.next_pid().unwrap().index()).collect();
+        let slow_count = seq.iter().filter(|&&p| p == 1).count();
+        assert_eq!(slow_count, 10);
+        // Slow appears exactly at every 5th slot (1-indexed).
+        for (i, &p) in seq.iter().enumerate() {
+            assert_eq!(p == 1, (i + 1) % 5 == 0, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn fast_processes_rotate() {
+        let mut s = Stutter::new(3, ProcessId(0), 100);
+        let seq: Vec<usize> = (0..6).map(|_| s.next_pid().unwrap().index()).collect();
+        assert_eq!(seq, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn support_includes_slow() {
+        let s = Stutter::new(3, ProcessId(2), 7);
+        assert_eq!(s.support().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_process_panics() {
+        Stutter::new(1, ProcessId(0), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based tests of the simulator itself: schedules, memory
+//! objects, and engine accounting invariants.
+
+use proptest::prelude::*;
+
+use sift_sim::schedule::{
+    BlockRotation, CrashSubset, RandomInterleave, RepeatingSchedule, RoundRobin, Schedule,
+    ScheduleKind, Stutter,
+};
+use sift_sim::{
+    Engine, LayoutBuilder, Memory, Op, OpResult, Process, ProcessId, RegisterId, Step,
+};
+
+/// A process that performs `k` writes of its id and then reads back.
+#[derive(Debug)]
+struct Chatter {
+    reg: RegisterId,
+    id: u64,
+    writes_left: u32,
+}
+
+impl Process for Chatter {
+    type Value = u64;
+    type Output = Option<u64>;
+
+    fn step(&mut self, prev: Option<OpResult<u64>>) -> Step<u64, Option<u64>> {
+        if self.writes_left > 0 {
+            self.writes_left -= 1;
+            Step::Issue(Op::RegisterWrite(self.reg, self.id))
+        } else if prev.as_ref().is_some_and(|r| matches!(r, OpResult::RegisterValue(_))) {
+            Step::Done(prev.unwrap().expect_register())
+        } else {
+            Step::Issue(Op::RegisterRead(self.reg))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every schedule family produces ids in range and covers every
+    /// process within a bounded horizon.
+    #[test]
+    fn schedules_are_in_range_and_fair(
+        n in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        for kind in ScheduleKind::all() {
+            let mut s = kind.build(n, seed);
+            let mut seen = vec![false; n];
+            // Block-sequential only advances via on_done; mark its first
+            // pid and simulate completion to traverse everyone.
+            for _ in 0..(4 * n * n + 16) {
+                match s.next_pid() {
+                    None => break,
+                    Some(pid) => {
+                        prop_assert!(pid.index() < n, "{} out of range", pid);
+                        if !seen[pid.index()] {
+                            seen[pid.index()] = true;
+                            s.on_done(pid); // treat first visit as completion
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                seen.iter().all(|&x| x),
+                "{} did not cover all {} processes",
+                kind.name(),
+                n
+            );
+        }
+    }
+
+    /// The engine charges exactly the operations executed: the sum of
+    /// per-process steps equals the total, and memory op counts agree.
+    #[test]
+    fn engine_accounting_is_conserved(
+        n in 1usize..12,
+        writes in 0u32..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut b = LayoutBuilder::new();
+        let reg = b.register();
+        let layout = b.build();
+        let procs: Vec<Chatter> = (0..n)
+            .map(|i| Chatter { reg, id: i as u64, writes_left: writes })
+            .collect();
+        let report = Engine::new(&layout, procs).run(RandomInterleave::new(n, seed));
+        let per_sum: u64 = report.metrics.per_process_steps.iter().sum();
+        prop_assert_eq!(per_sum, report.metrics.total_steps);
+        prop_assert_eq!(report.metrics.total_ops, report.memory.ops_executed());
+        // Each process did `writes` writes + 1 read.
+        prop_assert_eq!(report.metrics.total_ops, (writes as u64 + 1) * n as u64);
+        prop_assert!(report.all_decided());
+    }
+
+    /// Register semantics: the final read of a solo suffix returns the
+    /// last value written before it.
+    #[test]
+    fn register_is_last_write_wins(
+        values in prop::collection::vec(0u64..100, 1..20),
+    ) {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let mut mem: Memory<u64> = Memory::new(&b.build());
+        for &v in &values {
+            mem.execute(Op::RegisterWrite(r, v)).expect_ack();
+        }
+        prop_assert_eq!(
+            mem.execute(Op::RegisterRead(r)).expect_register(),
+            values.last().copied()
+        );
+    }
+
+    /// Snapshot scans are monotone: a later scan's view dominates an
+    /// earlier one component-wise (components written once).
+    #[test]
+    fn snapshot_views_nest(
+        updates in prop::collection::vec((0usize..6, 0u64..100), 1..20),
+    ) {
+        let mut b = LayoutBuilder::new();
+        let s = b.snapshot(6);
+        let mut mem: Memory<u64> = Memory::new(&b.build());
+        let mut previous: Option<Vec<Option<u64>>> = None;
+        for &(component, value) in &updates {
+            mem.execute(Op::SnapshotUpdate(s, component, value)).expect_ack();
+            let view = mem.execute(Op::SnapshotScan(s)).expect_view();
+            let current: Vec<Option<u64>> = view.to_vec();
+            if let Some(prev) = &previous {
+                for (a, b) in prev.iter().zip(&current) {
+                    if a.is_some() {
+                        prop_assert!(b.is_some(), "component lost a value");
+                    }
+                }
+            }
+            previous = Some(current);
+        }
+    }
+
+    /// Max register reads are monotone in the key, under any write
+    /// sequence.
+    #[test]
+    fn max_register_is_monotone(
+        keys in prop::collection::vec(0u64..1000, 1..30),
+    ) {
+        let mut b = LayoutBuilder::new();
+        let m = b.max_register();
+        let mut mem: Memory<u64> = Memory::new(&b.build());
+        let mut last = 0u64;
+        for &k in &keys {
+            mem.execute(Op::MaxWrite(m, k, k)).expect_ack();
+            let (key, value) = mem
+                .execute(Op::MaxRead(m))
+                .expect_max()
+                .expect("written at least once");
+            prop_assert_eq!(key, value);
+            prop_assert!(key >= last);
+            last = key;
+        }
+        prop_assert_eq!(last, *keys.iter().max().unwrap());
+    }
+
+    /// Crash subsets never schedule crashed processes and preserve the
+    /// support arithmetic.
+    #[test]
+    fn crash_subset_filters_support(
+        n in 2usize..20,
+        fraction in 0.0f64..0.99,
+        seed in 0u64..10_000,
+    ) {
+        let mut s = CrashSubset::random(RoundRobin::new(n), n, fraction, seed);
+        let crashed: Vec<ProcessId> = s.crashed().collect();
+        prop_assert!(crashed.len() < n, "someone must survive");
+        prop_assert_eq!(s.support().len(), n - crashed.len());
+        for _ in 0..100 {
+            let pid = s.next_pid().unwrap();
+            prop_assert!(!crashed.contains(&pid));
+        }
+    }
+
+    /// Deterministic replay: equal seeds give equal schedule prefixes.
+    #[test]
+    fn schedules_replay_deterministically(
+        n in 1usize..16,
+        seed in 0u64..10_000,
+        prefix in 1usize..200,
+    ) {
+        for kind in ScheduleKind::all() {
+            let mut a = kind.build(n, seed);
+            let mut b = kind.build(n, seed);
+            for _ in 0..prefix {
+                prop_assert_eq!(a.next_pid(), b.next_pid());
+            }
+        }
+    }
+
+    /// Stutter starves exactly one process at the configured period.
+    #[test]
+    fn stutter_period_is_exact(
+        n in 2usize..10,
+        slow in 0usize..10,
+        period in 2u64..20,
+    ) {
+        let slow = ProcessId(slow % n);
+        let mut s = Stutter::new(n, slow, period);
+        for i in 1..=(period * 10) {
+            let pid = s.next_pid().unwrap();
+            prop_assert_eq!(pid == slow, i % period == 0, "slot {}", i);
+        }
+    }
+
+    /// Block rotation covers all processes exactly once per pass.
+    #[test]
+    fn block_rotation_passes_are_permutations(
+        n in 1usize..12,
+        block in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut s = BlockRotation::new(n, block, seed);
+        for _pass in 0..3 {
+            let mut counts = vec![0usize; n];
+            for _ in 0..(n * block) {
+                counts[s.next_pid().unwrap().index()] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == block), "{:?}", counts);
+        }
+    }
+
+    /// Repeating schedules have the support of their pattern.
+    #[test]
+    fn repeating_support_is_pattern_set(
+        pattern in prop::collection::vec(0usize..8, 1..12),
+    ) {
+        let s = RepeatingSchedule::from_indices(pattern.clone());
+        let mut expect: Vec<usize> = pattern;
+        expect.sort_unstable();
+        expect.dedup();
+        let support: Vec<usize> = s.support().iter().map(|p| p.index()).collect();
+        prop_assert_eq!(support, expect);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sift-tas — test-and-set from sifting
+//!
+//! The paper's §5 points out that its conciliators share machinery with
+//! the sub-logarithmic test-and-set of Alistarh–Aspnes (reference \[1\]):
+//! Algorithm 2's sift *adopts* the register value where the
+//! test-and-set sift *eliminates* the reader. This crate builds that
+//! family:
+//!
+//! * [`TwoProcessTas`] — a two-participant test-and-set from binary
+//!   consensus (the node primitive).
+//! * [`TournamentTas`] — the classic `⌈log₂ n⌉`-level tournament of
+//!   two-process nodes.
+//! * [`SiftingTas`] — `O(log log n)` sift rounds in front of the
+//!   tournament: losers leave after a handful of register operations,
+//!   and only an expected `O(1)` survivors pay for the climb.
+//!
+//! All objects are one-shot, wait-free state machines over
+//! [`sift_sim::Process`], checked against the test-and-set contract in
+//! [`spec`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod sifting_tas;
+pub mod spec;
+pub mod tournament;
+pub mod two_process;
+
+pub use sifting_tas::{SiftingTas, SiftingTasParticipant};
+pub use spec::{check_tas_properties, TasOutcome};
+pub use tournament::{TournamentParticipant, TournamentTas};
+pub use two_process::{TwoProcessTas, TwoProcessTasParticipant};

@@ -1,0 +1,86 @@
+//! The test-and-set contract and a checking harness.
+//!
+//! A (one-shot) randomized test-and-set object lets each participant
+//! call `tas()` once and returns *win* to at most one of them:
+//!
+//! * **At most one winner** — in every execution.
+//! * **Someone wins** — if every participant finishes, exactly one of
+//!   them wins (with crashes, the would-be winner may vanish and
+//!   everyone else legitimately loses).
+//! * **Termination** — with probability 1 against an oblivious
+//!   adversary.
+//!
+//! The paper's §5 discusses the tight relationship between its
+//! conciliators and the sifting-based test-and-set of Alistarh–Aspnes
+//! (its reference \[1\]); this crate makes that relationship concrete.
+
+/// The result of a test-and-set invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TasOutcome {
+    /// This process acquired the object (returned 0 in C parlance).
+    Won,
+    /// Another process acquired the object first.
+    Lost,
+}
+
+impl TasOutcome {
+    /// Returns `true` for [`TasOutcome::Won`].
+    pub fn is_win(self) -> bool {
+        matches!(self, TasOutcome::Won)
+    }
+}
+
+/// Checks the test-and-set safety properties over a finished execution.
+///
+/// `outcomes[i]` is process `i`'s result, or `None` if it crashed.
+///
+/// # Panics
+///
+/// Panics if two processes won, or if everyone finished and nobody won.
+pub fn check_tas_properties(outcomes: &[Option<TasOutcome>]) {
+    let winners = outcomes
+        .iter()
+        .flatten()
+        .filter(|o| o.is_win())
+        .count();
+    assert!(winners <= 1, "{winners} winners — test-and-set violated");
+    let all_finished = outcomes.iter().all(Option::is_some);
+    if all_finished && !outcomes.is_empty() {
+        assert_eq!(
+            winners, 1,
+            "all {} participants finished but nobody won",
+            outcomes.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_one_winner() {
+        check_tas_properties(&[Some(TasOutcome::Won), Some(TasOutcome::Lost), None]);
+        check_tas_properties(&[Some(TasOutcome::Lost), None]);
+        check_tas_properties(&[]);
+        check_tas_properties(&[Some(TasOutcome::Won)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 winners")]
+    fn rejects_two_winners() {
+        check_tas_properties(&[Some(TasOutcome::Won), Some(TasOutcome::Won)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nobody won")]
+    fn rejects_all_losers_when_all_finished() {
+        check_tas_properties(&[Some(TasOutcome::Lost), Some(TasOutcome::Lost)]);
+    }
+
+    #[test]
+    fn is_win_helper() {
+        assert!(TasOutcome::Won.is_win());
+        assert!(!TasOutcome::Lost.is_win());
+    }
+}

@@ -1,0 +1,20 @@
+//! # sift — randomized consensus against an oblivious adversary
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! overview and the member crates for details:
+//!
+//! * [`sim`] — deterministic oblivious-adversary shared-memory simulator.
+//! * [`shmem`] — threaded shared-memory substrate over real atomics.
+//! * [`core`] — the paper's conciliators (snapshot, sifting, CIL-embedded).
+//! * [`adopt_commit`] — adopt-commit objects.
+//! * [`consensus`] — consensus from conciliator/adopt-commit alternation.
+//! * [`tas`] — test-and-set from sifting (the §5 connection).
+
+#![forbid(unsafe_code)]
+
+pub use sift_adopt_commit as adopt_commit;
+pub use sift_consensus as consensus;
+pub use sift_core as core;
+pub use sift_shmem as shmem;
+pub use sift_sim as sim;
+pub use sift_tas as tas;

@@ -1,0 +1,180 @@
+//! Property-based tests of the conciliator contract (termination,
+//! validity, probabilistic agreement plumbing) across all four
+//! constructions and every schedule family.
+
+use proptest::prelude::*;
+
+use sift::core::{
+    distinct_per_round, CilConciliator, Conciliator, EmbeddedConciliator, Epsilon,
+    MaxConciliator, RoundHistory, SiftingConciliator, SnapshotConciliator,
+};
+use sift::sim::rng::SeedSplitter;
+use sift::sim::schedule::ScheduleKind;
+use sift::sim::{Engine, LayoutBuilder, ProcessId};
+
+#[derive(Debug, Clone, Copy)]
+enum Alg {
+    Snapshot,
+    Max,
+    Sifting,
+    Embedded,
+    Cil,
+}
+
+fn schedule_kind() -> impl Strategy<Value = ScheduleKind> {
+    prop_oneof![
+        Just(ScheduleKind::RoundRobin),
+        Just(ScheduleKind::RandomInterleave),
+        Just(ScheduleKind::BlockSequential),
+        Just(ScheduleKind::BlockRotation),
+        Just(ScheduleKind::Stutter),
+    ]
+}
+
+fn alg() -> impl Strategy<Value = Alg> {
+    prop_oneof![
+        Just(Alg::Snapshot),
+        Just(Alg::Max),
+        Just(Alg::Sifting),
+        Just(Alg::Embedded),
+        Just(Alg::Cil),
+    ]
+}
+
+/// Runs a conciliator and returns (outputs' inputs, per-process steps).
+fn run_alg(alg: Alg, n: usize, inputs: &[u64], seed: u64, kind: ScheduleKind) -> Vec<u64> {
+    let split = SeedSplitter::new(seed);
+    let schedule = kind.build(n, split.seed("schedule", 0));
+    let mut b = LayoutBuilder::new();
+
+    macro_rules! go {
+        ($c:expr) => {{
+            let c = $c;
+            let layout = b.build();
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), inputs[i], &mut rng)
+                })
+                .collect();
+            let report = Engine::new(&layout, procs).run(schedule);
+            report
+                .unwrap_outputs()
+                .into_iter()
+                .map(|p| p.input())
+                .collect::<Vec<u64>>()
+        }};
+    }
+
+    match alg {
+        Alg::Snapshot => go!(SnapshotConciliator::allocate(&mut b, n, Epsilon::HALF)),
+        Alg::Max => go!(MaxConciliator::allocate(&mut b, n, Epsilon::HALF)),
+        Alg::Sifting => go!(SiftingConciliator::allocate(&mut b, n, Epsilon::HALF)),
+        Alg::Embedded => go!(EmbeddedConciliator::allocate(&mut b, n)),
+        Alg::Cil => go!(CilConciliator::allocate(&mut b, n)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Termination + validity: every process decides some process's
+    /// input, under every algorithm and schedule family.
+    #[test]
+    fn validity_and_termination(
+        alg in alg(),
+        kind in schedule_kind(),
+        n in 1usize..12,
+        seed in 0u64..10_000,
+        input_mod in 1u64..6,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % input_mod).collect();
+        let outputs = run_alg(alg, n, &inputs, seed, kind);
+        prop_assert_eq!(outputs.len(), n);
+        for out in outputs {
+            prop_assert!(inputs.contains(&out), "output {} not an input", out);
+        }
+    }
+
+    /// Unanimity in, unanimity out: when all inputs are equal, validity
+    /// forces agreement deterministically.
+    #[test]
+    fn unanimous_inputs_always_agree(
+        alg in alg(),
+        kind in schedule_kind(),
+        n in 1usize..10,
+        seed in 0u64..10_000,
+        value in 0u64..50,
+    ) {
+        let inputs = vec![value; n];
+        let outputs = run_alg(alg, n, &inputs, seed, kind);
+        for out in outputs {
+            prop_assert_eq!(out, value);
+        }
+    }
+
+    /// Round-structured conciliators never invent personae and their
+    /// survivor sets only shrink.
+    #[test]
+    fn survivors_shrink_monotonically(
+        kind in schedule_kind(),
+        n in 2usize..16,
+        seed in 0u64..10_000,
+        use_sifting in any::<bool>(),
+    ) {
+        let split = SeedSplitter::new(seed);
+        let schedule = kind.build(n, split.seed("schedule", 0));
+        let mut b = LayoutBuilder::new();
+        let counts = if use_sifting {
+            let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+            let layout = b.build();
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), i as u64, &mut rng)
+                })
+                .collect();
+            let report = Engine::new(&layout, procs).run(schedule);
+            distinct_per_round(report.processes.iter().map(|p| p.history()))
+        } else {
+            let c = SnapshotConciliator::allocate(&mut b, n, Epsilon::HALF);
+            let layout = b.build();
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), i as u64, &mut rng)
+                })
+                .collect();
+            let report = Engine::new(&layout, procs).run(schedule);
+            distinct_per_round(report.processes.iter().map(|p| p.history()))
+        };
+        for w in counts.windows(2) {
+            prop_assert!(w[1] <= w[0], "survivors grew: {:?}", counts);
+        }
+    }
+
+    /// The deterministic step counts of Theorems 1 and 2 hold exactly:
+    /// Algorithm 1 takes 2R ops per process, Algorithm 2 takes R.
+    #[test]
+    fn step_counts_are_exact(
+        kind in schedule_kind(),
+        n in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let split = SeedSplitter::new(seed);
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+        let layout = b.build();
+        let rounds = c.rounds() as u64;
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), 0, &mut rng)
+            })
+            .collect();
+        let report = Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));
+        for &steps in &report.metrics.per_process_steps {
+            prop_assert_eq!(steps, rounds);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the full consensus stacks: agreement and
+//! validity are *absolute* (never merely probabilistic), under every
+//! schedule family and under crash failures.
+
+use proptest::prelude::*;
+
+use sift::consensus::{
+    check_consensus, cil_consensus, linear_work_consensus, max_register_consensus,
+    sifting_consensus, snapshot_consensus, ConsensusOutcome,
+};
+use sift::sim::rng::SeedSplitter;
+use sift::sim::schedule::{CrashSubset, RandomInterleave, Schedule, ScheduleKind};
+use sift::sim::{Engine, LayoutBuilder, ProcessId};
+
+fn schedule_kind() -> impl Strategy<Value = ScheduleKind> {
+    prop_oneof![
+        Just(ScheduleKind::RoundRobin),
+        Just(ScheduleKind::RandomInterleave),
+        Just(ScheduleKind::BlockSequential),
+        Just(ScheduleKind::BlockRotation),
+        Just(ScheduleKind::Stutter),
+    ]
+}
+
+fn run_protocol(
+    which: usize,
+    inputs: &[u64],
+    m: u64,
+    seed: u64,
+    kind: ScheduleKind,
+) -> Vec<ConsensusOutcome> {
+    let n = inputs.len();
+    let split = SeedSplitter::new(seed);
+    let schedule = kind.build(n, split.seed("schedule", 0));
+    let mut b = LayoutBuilder::new();
+
+    macro_rules! go {
+        ($p:expr) => {{
+            let p = $p;
+            let layout = b.build();
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    p.participant(ProcessId(i), inputs[i], &mut rng)
+                })
+                .collect();
+            Engine::new(&layout, procs).run(schedule).unwrap_outputs()
+        }};
+    }
+
+    match which {
+        0 => go!(snapshot_consensus(&mut b, n)),
+        1 => go!(max_register_consensus(&mut b, n)),
+        2 => go!(sifting_consensus(&mut b, n, m, 2)),
+        3 => go!(linear_work_consensus(&mut b, n, m, 2)),
+        _ => go!(cil_consensus(&mut b, n)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Agreement and validity hold in every execution of every stack.
+    #[test]
+    fn consensus_safety_is_absolute(
+        which in 0usize..5,
+        kind in schedule_kind(),
+        inputs in prop::collection::vec(0u64..8, 1..10),
+        seed in 0u64..100_000,
+    ) {
+        let outcomes = run_protocol(which, &inputs, 8, seed, kind);
+        check_consensus(&inputs, outcomes.iter());
+    }
+
+    /// Unanimity decides in exactly one phase (convergence end to end).
+    #[test]
+    fn unanimity_decides_in_one_phase(
+        which in 0usize..4, // CIL conciliator may still need >1 phase
+        kind in schedule_kind(),
+        n in 1usize..8,
+        value in 0u64..8,
+        seed in 0u64..100_000,
+    ) {
+        let inputs = vec![value; n];
+        let outcomes = run_protocol(which, &inputs, 8, seed, kind);
+        for o in outcomes {
+            match o {
+                ConsensusOutcome::Decided(d) => {
+                    prop_assert_eq!(d.value, value);
+                    prop_assert_eq!(d.phases, 1);
+                }
+                ConsensusOutcome::Exhausted { .. } => prop_assert!(false, "exhausted"),
+            }
+        }
+    }
+
+    /// Wait-freedom: under crash failures, every surviving process still
+    /// decides, and survivors agree.
+    #[test]
+    fn survivors_decide_under_crashes(
+        inputs in prop::collection::vec(0u64..4, 2..10),
+        fraction in 0.0f64..0.9,
+        seed in 0u64..100_000,
+    ) {
+        let n = inputs.len();
+        let split = SeedSplitter::new(seed);
+        let mut b = LayoutBuilder::new();
+        let p = sifting_consensus(&mut b, n, 4, 2);
+        let layout = b.build();
+        let schedule = CrashSubset::random(
+            RandomInterleave::new(n, split.seed("schedule", 0)),
+            n,
+            fraction,
+            split.seed("crashes", 0),
+        );
+        let live = schedule.support().len();
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                p.participant(ProcessId(i), inputs[i], &mut rng)
+            })
+            .collect();
+        let report = Engine::new(&layout, procs).run(schedule);
+        let decided: Vec<&ConsensusOutcome> = report.outputs.iter().flatten().collect();
+        prop_assert_eq!(decided.len(), live, "every live process decides");
+        check_consensus(&inputs, decided.into_iter());
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-runtime equivalence: the same protocol state machines run on
+//! the deterministic simulator and on the threaded substrate, and a
+//! lockstep driver over the threaded objects reproduces the simulator's
+//! outcome exactly.
+
+use sift::core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
+use sift::shmem::memory::AtomicMemory;
+use sift::shmem::runtime::run_threads;
+use sift::sim::rng::SeedSplitter;
+use sift::sim::schedule::{RoundRobin, Schedule};
+use sift::sim::{Engine, LayoutBuilder, Process, ProcessId, Step};
+
+/// Drives the state machines against `AtomicMemory` in the exact
+/// round-robin order the simulator would use — the two runtimes must
+/// then produce identical outputs.
+type LockstepSlot<P> = Option<(P, Option<sift::sim::OpResult<<P as Process>::Value>>)>;
+
+fn lockstep_over_atomic_memory<P>(layout: &sift::sim::Layout, processes: Vec<P>) -> Vec<P::Output>
+where
+    P: Process,
+{
+    let memory = AtomicMemory::new(layout);
+    let mut slots: Vec<LockstepSlot<P>> = processes
+        .into_iter()
+        .map(|p| Some((p, None)))
+        .collect();
+    let mut outputs: Vec<Option<P::Output>> = (0..slots.len()).map(|_| None).collect();
+    let mut schedule = RoundRobin::new(slots.len());
+    let mut remaining = slots.len();
+    while remaining > 0 {
+        let pid = schedule.next_pid().expect("round robin is infinite");
+        let slot = &mut slots[pid.index()];
+        if let Some((proc_ref, prev)) = slot.as_mut() {
+            match proc_ref.step(prev.take()) {
+                Step::Issue(op) => {
+                    *prev = Some(memory.execute(op));
+                }
+                Step::Done(out) => {
+                    outputs[pid.index()] = Some(out);
+                    *slot = None;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    outputs.into_iter().map(|o| o.unwrap()).collect()
+}
+
+fn sifting_participants(
+    n: usize,
+    seed: u64,
+) -> (sift::sim::Layout, Vec<sift::core::SiftingParticipant>) {
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+    let layout = b.build();
+    let split = SeedSplitter::new(seed);
+    let procs = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    (layout, procs)
+}
+
+/// The simulator's engine resumes a state machine immediately after its
+/// op executes, so "one op per scheduled slot" in the lockstep driver is
+/// the same discipline — outcomes must match exactly.
+#[test]
+fn lockstep_threads_match_simulator_exactly() {
+    for seed in 0..20 {
+        let n = 9;
+        let (layout, procs) = sifting_participants(n, seed);
+        let sim_outputs: Vec<u64> = Engine::new(&layout, procs)
+            .run(RoundRobin::new(n))
+            .unwrap_outputs()
+            .into_iter()
+            .map(|p| p.input())
+            .collect();
+
+        let (layout2, procs2) = sifting_participants(n, seed);
+        let atomic_outputs: Vec<u64> = lockstep_over_atomic_memory(&layout2, procs2)
+            .into_iter()
+            .map(|p| p.input())
+            .collect();
+
+        assert_eq!(sim_outputs, atomic_outputs, "seed {seed}");
+    }
+}
+
+#[test]
+fn lockstep_matches_for_snapshot_conciliator_too() {
+    for seed in 0..10 {
+        let n = 6;
+        let build = |seed: u64| {
+            let mut b = LayoutBuilder::new();
+            let c = SnapshotConciliator::allocate(&mut b, n, Epsilon::HALF);
+            let layout = b.build();
+            let split = SeedSplitter::new(seed);
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), 10 + i as u64, &mut rng)
+                })
+                .collect();
+            (layout, procs)
+        };
+        let (layout, procs) = build(seed);
+        let sim: Vec<u64> = Engine::new(&layout, procs)
+            .run(RoundRobin::new(n))
+            .unwrap_outputs()
+            .into_iter()
+            .map(|p| p.input())
+            .collect();
+        let (layout2, procs2) = build(seed);
+        let atomic: Vec<u64> = lockstep_over_atomic_memory(&layout2, procs2)
+            .into_iter()
+            .map(|p| p.input())
+            .collect();
+        assert_eq!(sim, atomic, "seed {seed}");
+    }
+}
+
+/// Free-running threads (the OS schedules) still satisfy validity and
+/// exact step counts.
+#[test]
+fn free_threads_preserve_protocol_invariants() {
+    let n = 6;
+    let (layout, procs) = sifting_participants(n, 5);
+    let rounds = {
+        let mut b = LayoutBuilder::new();
+        SiftingConciliator::allocate(&mut b, n, Epsilon::HALF).rounds() as u64
+    };
+    let report = run_threads(&layout, procs);
+    for p in &report.outputs {
+        assert!(p.input() < n as u64);
+    }
+    assert!(report.ops.iter().all(|&o| o == rounds));
+}

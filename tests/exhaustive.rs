@@ -1,0 +1,164 @@
+//! Bounded model checking: enumerate EVERY interleaving of small
+//! instances and check safety on each — exhaustive proofs where
+//! randomized testing only samples.
+
+use sift::adopt_commit::{
+    check_ac_properties, AcOutput, AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc,
+    GafniSnapshotAc,
+};
+use sift::core::{Conciliator, Epsilon, SiftingConciliator};
+use sift::sim::explore::explore;
+use sift::sim::rng::SeedSplitter;
+use sift::sim::{LayoutBuilder, ProcessId};
+
+/// Every interleaving of two flags-AC proposers, for every proposal
+/// pair: 2m+3 = 7 ops each → C(14,7) = 3432 executions per pair.
+#[test]
+fn flags_ac_is_coherent_under_all_interleavings_of_two() {
+    for a in 0u64..2 {
+        for b in 0u64..2 {
+            let mut builder = LayoutBuilder::new();
+            let ac = FlagsAc::allocate(&mut builder, 2);
+            let layout = builder.build();
+            let procs = vec![
+                ac.proposer(ProcessId(0), a, a),
+                ac.proposer(ProcessId(1), b, b),
+            ];
+            let total = explore(&layout, procs, 10_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+                check_ac_properties(&[a, b], outs);
+            })
+            .unwrap();
+            // Path lengths vary with candidacy; conflicting proposals
+            // shorten the raw path, so the count is a range.
+            assert!((1000..=3432).contains(&total), "proposals ({a},{b}): {total}");
+        }
+    }
+}
+
+/// Every interleaving of two digit-AC proposers (m = 2, base 2: 8 ops
+/// each → C(16,8) = 12870 executions per pair).
+#[test]
+fn digit_ac_is_coherent_under_all_interleavings_of_two() {
+    for a in 0u64..2 {
+        for b in 0u64..2 {
+            let mut builder = LayoutBuilder::new();
+            let ac = DigitAc::for_code_space(&mut builder, 2, 2);
+            let layout = builder.build();
+            let procs = vec![
+                ac.proposer(ProcessId(0), a, a),
+                ac.proposer(ProcessId(1), b, b),
+            ];
+            let total = explore(&layout, procs, 20_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+                check_ac_properties(&[a, b], outs);
+            })
+            .unwrap();
+            assert!((1000..=12_870).contains(&total), "proposals ({a},{b}): {total}");
+        }
+    }
+}
+
+/// Every interleaving of two snapshot-Gafni proposers. The candidate
+/// path takes 5 ops and the raw path 4, so the execution count varies;
+/// safety must hold on all of them.
+#[test]
+fn gafni_snapshot_ac_is_coherent_under_all_interleavings_of_two() {
+    for a in 0u64..2 {
+        for b in 0u64..2 {
+            let mut builder = LayoutBuilder::new();
+            let ac = GafniSnapshotAc::<u64>::allocate(&mut builder, 2, |v| *v);
+            let layout = builder.build();
+            let procs = vec![
+                ac.proposer(ProcessId(0), a, a),
+                ac.proposer(ProcessId(1), b, b),
+            ];
+            let total = explore(&layout, procs, 10_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+                check_ac_properties(&[a, b], outs);
+            })
+            .unwrap();
+            assert!(total >= 100, "proposals ({a},{b}): {total} executions");
+        }
+    }
+}
+
+/// THREE concurrent snapshot-Gafni proposers, exhaustively: hundreds of
+/// thousands of interleavings, every one coherent.
+#[test]
+fn gafni_snapshot_ac_is_coherent_under_all_interleavings_of_three() {
+    // Mixed proposals (0, 1, 0): the hardest case for coherence.
+    let proposals = [0u64, 1, 0];
+    let mut builder = LayoutBuilder::new();
+    let ac = GafniSnapshotAc::<u64>::allocate(&mut builder, 3, |v| *v);
+    let layout = builder.build();
+    let procs: Vec<_> = proposals
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| ac.proposer(ProcessId(i), c, c))
+        .collect();
+    let total = explore(&layout, procs, 1_000_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+        check_ac_properties(&proposals, outs);
+    })
+    .unwrap();
+    assert!(total > 50_000, "{total} executions explored");
+}
+
+/// Every interleaving of two register-Gafni proposers (3n+2 = 8 ops
+/// worst case at n = 2).
+#[test]
+fn gafni_register_ac_is_coherent_under_all_interleavings_of_two() {
+    for a in 0u64..2 {
+        for b in 0u64..2 {
+            let mut builder = LayoutBuilder::new();
+            let ac = GafniRegisterAc::<u64>::allocate(&mut builder, 2, |v| *v);
+            let layout = builder.build();
+            let procs = vec![
+                ac.proposer(ProcessId(0), a, a),
+                ac.proposer(ProcessId(1), b, b),
+            ];
+            explore(&layout, procs, 20_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+                check_ac_properties(&[a, b], outs);
+            })
+            .unwrap();
+        }
+    }
+}
+
+/// Every interleaving of a two-process sifting conciliator (for fixed
+/// personae): validity and termination hold in all of them, and the
+/// outcome degrades to disagreement only when the pre-flipped coins
+/// allow it.
+#[test]
+fn sifting_conciliator_is_valid_under_all_interleavings_of_two() {
+    for seed in 0..10 {
+        let mut builder = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut builder, 2, Epsilon::HALF);
+        let layout = builder.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..2)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), 100 + i as u64, &mut rng)
+            })
+            .collect();
+        let rounds = c.rounds();
+        let total = explore(&layout, procs, 500_000, &mut |outs| {
+            for out in outs.iter().flatten() {
+                assert!(
+                    out.input() == 100 || out.input() == 101,
+                    "invented value {}",
+                    out.input()
+                );
+            }
+            assert!(outs.iter().all(Option::is_some), "termination");
+        })
+        .unwrap();
+        // R ops each: C(2R, R) interleavings.
+        let expect = {
+            let mut c = 1u64;
+            for k in 1..=rounds as u64 {
+                c = c * (rounds as u64 + k) / k;
+            }
+            c
+        };
+        assert_eq!(total, expect, "seed {seed}");
+    }
+}

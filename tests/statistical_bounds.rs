@@ -1,0 +1,169 @@
+//! Statistical integration tests: the paper's quantitative guarantees,
+//! measured end to end with enough trials to be decisive but few enough
+//! to keep `cargo test` fast. (The full sweeps live in `sift-bench`.)
+
+use sift::core::analysis::{lemma1_expected_excess, sifting_expected_excess};
+use sift::core::{
+    distinct_per_round, Conciliator, EmbeddedConciliator, Epsilon, RoundHistory,
+    SiftingConciliator, SnapshotConciliator,
+};
+use sift::sim::rng::SeedSplitter;
+use sift::sim::schedule::RandomInterleave;
+use sift::sim::{Engine, LayoutBuilder, ProcessId};
+
+fn run_survivors<C>(
+    n: usize,
+    seed: u64,
+    build: impl FnOnce(&mut LayoutBuilder) -> C,
+) -> (Vec<usize>, bool, u64)
+where
+    C: Conciliator,
+    C::Participant: RoundHistory,
+{
+    let mut b = LayoutBuilder::new();
+    let c = build(&mut b);
+    let layout = b.build();
+    let split = SeedSplitter::new(seed);
+    let procs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let report = Engine::new(&layout, procs).run(RandomInterleave::new(
+        n,
+        split.seed("schedule", 0),
+    ));
+    let counts = distinct_per_round(report.processes.iter().map(|p| p.history()));
+    let total = report.metrics.total_steps;
+    let agreed = {
+        use std::collections::HashSet;
+        let outs: HashSet<_> = report.decided().map(|p| p.origin()).collect();
+        outs.len() == 1
+    };
+    (counts, agreed, total)
+}
+
+/// Lemma 1, measured: the mean excess after each round of Algorithm 1
+/// stays within the iterated-f bound (with sampling slack).
+#[test]
+fn lemma1_decay_holds_at_n_128() {
+    let n = 128;
+    let trials = 60;
+    let mut sums = vec![0.0f64; 64];
+    let mut rounds = 0;
+    for seed in 0..trials {
+        let (counts, _, _) = run_survivors(n, seed, |b| {
+            SnapshotConciliator::allocate(b, n, Epsilon::HALF)
+        });
+        rounds = counts.len();
+        for (i, &c) in counts.iter().enumerate() {
+            sums[i] += (c - 1) as f64;
+        }
+    }
+    for (i, sum) in sums.iter().enumerate().take(rounds) {
+        let mean = sum / trials as f64;
+        let bound = lemma1_expected_excess(n as u64, (i + 1) as u32);
+        assert!(
+            mean <= bound * 1.25,
+            "round {}: measured {mean} vs bound {bound}",
+            i + 1
+        );
+    }
+}
+
+/// Lemmas 3–4, measured: sifting excess follows x_i = 2√x_{i-1} then a
+/// (3/4)-geometric tail.
+#[test]
+fn sifting_decay_holds_at_n_512() {
+    let n = 512;
+    let trials = 60;
+    let mut sums = vec![0.0f64; 64];
+    let mut rounds = 0;
+    for seed in 0..trials {
+        let (counts, _, _) = run_survivors(n, seed, |b| {
+            SiftingConciliator::allocate(b, n, Epsilon::HALF)
+        });
+        rounds = counts.len();
+        for (i, &c) in counts.iter().enumerate() {
+            sums[i] += (c - 1) as f64;
+        }
+    }
+    for (i, sum) in sums.iter().enumerate().take(rounds) {
+        let mean = sum / trials as f64;
+        let bound = sifting_expected_excess(n as u64, (i + 1) as u32);
+        assert!(
+            mean <= bound * 1.25,
+            "round {}: measured {mean} vs bound {bound}",
+            i + 1
+        );
+    }
+}
+
+/// Theorem 3, measured: Algorithm 3's expected total work is linear
+/// with a small constant, and agreement beats 1/8 comfortably.
+#[test]
+fn theorem3_total_work_and_agreement() {
+    let n = 256;
+    let trials = 30;
+    let mut total = 0u64;
+    let mut agreements = 0;
+    for seed in 0..trials {
+        let mut b = LayoutBuilder::new();
+        let c = EmbeddedConciliator::allocate(&mut b, n);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect();
+        let report = Engine::new(&layout, procs).run(RandomInterleave::new(
+            n,
+            split.seed("schedule", 0),
+        ));
+        total += report.metrics.total_steps;
+        use std::collections::HashSet;
+        let outs: HashSet<_> = report.decided().map(|p| p.origin()).collect();
+        agreements += u64::from(outs.len() == 1);
+    }
+    let mean_total = total as f64 / trials as f64;
+    assert!(
+        mean_total < 30.0 * n as f64,
+        "mean total {mean_total} not linear for n={n}"
+    );
+    assert!(
+        agreements as f64 >= trials as f64 / 8.0,
+        "agreement {agreements}/{trials} below 1/8"
+    );
+}
+
+/// Theorems 1 and 2, measured at ε = 1/4: disagreement stays below ε.
+#[test]
+fn epsilon_budgets_are_respected() {
+    let n = 32;
+    let trials = 400;
+    let eps = Epsilon::QUARTER;
+    let mut disagree_snapshot = 0;
+    let mut disagree_sifting = 0;
+    for seed in 0..trials {
+        let (_, agreed, _) = run_survivors(n, seed, |b| {
+            SnapshotConciliator::allocate(b, n, eps)
+        });
+        disagree_snapshot += u64::from(!agreed);
+        let (_, agreed, _) = run_survivors(n, seed + 100_000, |b| {
+            SiftingConciliator::allocate(b, n, eps)
+        });
+        disagree_sifting += u64::from(!agreed);
+    }
+    let budget = (trials as f64 * eps.get()) as u64;
+    assert!(
+        disagree_snapshot <= budget,
+        "Algorithm 1: {disagree_snapshot}/{trials} disagreements exceed ε = 1/4"
+    );
+    assert!(
+        disagree_sifting <= budget,
+        "Algorithm 2: {disagree_sifting}/{trials} disagreements exceed ε = 1/4"
+    );
+}

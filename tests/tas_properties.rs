@@ -1,0 +1,118 @@
+//! Property-based tests of the test-and-set family across schedules,
+//! sizes, and crash patterns.
+
+use proptest::prelude::*;
+
+use sift::sim::rng::SeedSplitter;
+use sift::sim::schedule::{CrashSubset, RandomInterleave, Schedule, ScheduleKind};
+use sift::sim::{Engine, LayoutBuilder, ProcessId};
+use sift::tas::{check_tas_properties, SiftingTas, TasOutcome, TournamentTas, TwoProcessTas};
+
+fn schedule_kind() -> impl Strategy<Value = ScheduleKind> {
+    prop_oneof![
+        Just(ScheduleKind::RoundRobin),
+        Just(ScheduleKind::RandomInterleave),
+        Just(ScheduleKind::BlockSequential),
+        Just(ScheduleKind::BlockRotation),
+        Just(ScheduleKind::Stutter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sifting test-and-set: exactly one winner whenever everyone
+    /// finishes, for any size and schedule family.
+    #[test]
+    fn sifting_tas_has_exactly_one_winner(
+        n in 1usize..20,
+        kind in schedule_kind(),
+        seed in 0u64..100_000,
+    ) {
+        let mut b = LayoutBuilder::new();
+        let tas = SiftingTas::allocate(&mut b, n);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..n)
+            .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
+            .collect();
+        let report = Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));
+        prop_assert!(report.outputs.iter().all(Option::is_some), "termination");
+        check_tas_properties(&report.outputs);
+    }
+
+    /// The tournament alone: same guarantee.
+    #[test]
+    fn tournament_tas_has_exactly_one_winner(
+        n in 1usize..16,
+        kind in schedule_kind(),
+        seed in 0u64..100_000,
+    ) {
+        let mut b = LayoutBuilder::new();
+        let tas = TournamentTas::allocate(&mut b, n);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..n)
+            .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
+            .collect();
+        let report = Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));
+        check_tas_properties(&report.outputs);
+    }
+
+    /// Crash tolerance: at most one winner among survivors; every
+    /// survivor terminates.
+    #[test]
+    fn sifting_tas_tolerates_crashes(
+        n in 2usize..16,
+        fraction in 0.0f64..0.9,
+        seed in 0u64..100_000,
+    ) {
+        let mut b = LayoutBuilder::new();
+        let tas = SiftingTas::allocate(&mut b, n);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let schedule = CrashSubset::random(
+            RandomInterleave::new(n, split.seed("schedule", 0)),
+            n,
+            fraction,
+            split.seed("crashes", 0),
+        );
+        let live = schedule.support().len();
+        let procs: Vec<_> = (0..n)
+            .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
+            .collect();
+        let report = Engine::new(&layout, procs).run(schedule);
+        let finished = report.outputs.iter().flatten().count();
+        prop_assert_eq!(finished, live, "all live processes must finish");
+        let winners = report
+            .outputs
+            .iter()
+            .flatten()
+            .filter(|o| o.is_win())
+            .count();
+        prop_assert!(winners <= 1, "{} winners", winners);
+    }
+
+    /// Two-process node: the loser never wins against a solo winner.
+    #[test]
+    fn two_process_tas_is_safe(
+        kind in schedule_kind(),
+        seed in 0u64..100_000,
+        both in any::<bool>(),
+    ) {
+        let mut b = LayoutBuilder::new();
+        let tas = TwoProcessTas::allocate(&mut b);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let mut procs = vec![tas.participant(false, &mut split.stream("process", 0))];
+        if both {
+            procs.push(tas.participant(true, &mut split.stream("process", 1)));
+        }
+        let n = procs.len();
+        let report = Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));
+        check_tas_properties(&report.outputs);
+        if !both {
+            prop_assert_eq!(report.outputs[0], Some(TasOutcome::Won), "solo always wins");
+        }
+    }
+}
