@@ -390,12 +390,7 @@ mod tests {
     fn concurrent_conflicts_are_safe_across_seeds_and_bases() {
         for base in [2u64, 3, 8] {
             for seed in 0..40 {
-                let outs = run(
-                    64,
-                    base,
-                    &[5, 40, 63, 5],
-                    RandomInterleave::new(4, seed),
-                );
+                let outs = run(64, base, &[5, 40, 63, 5], RandomInterleave::new(4, seed));
                 let commits: Vec<u64> = outs
                     .iter()
                     .flatten()

@@ -128,7 +128,11 @@ impl<V: Value> FlagsProposer<V> {
         if cand {
             // Candidate-writer path: by uniqueness our code is the only
             // candidate code; commit iff nobody recorded a conflict.
-            let verdict = if raw_empty { Verdict::Commit } else { Verdict::Adopt };
+            let verdict = if raw_empty {
+                Verdict::Commit
+            } else {
+                Verdict::Adopt
+            };
             Step::Done(AcOutput {
                 verdict,
                 code: self.code as u64,
@@ -209,7 +213,10 @@ impl<V: Value> Process for FlagsProposer<V> {
                         }
                     }
                     if next < m {
-                        self.state = State::CollectBc { next: next + 1, cand };
+                        self.state = State::CollectBc {
+                            next: next + 1,
+                            cand,
+                        };
                         return Step::Issue(Op::RegisterRead(self.shared.bc[next]));
                     }
                     if cand {

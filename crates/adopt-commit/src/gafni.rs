@@ -30,8 +30,7 @@
 use std::sync::Arc;
 
 use sift_sim::{
-    LayoutBuilder, Op, OpResult, Process, ProcessId, RegisterId, ScanView, SnapshotId, Step,
-    Value,
+    LayoutBuilder, Op, OpResult, Process, ProcessId, RegisterId, ScanView, SnapshotId, Step, Value,
 };
 
 use crate::spec::{AcOutput, AdoptCommit, Verdict};
@@ -49,7 +48,11 @@ fn decide<V: Value>(
 ) -> AcOutput<V> {
     if cand {
         AcOutput {
-            verdict: if raw_empty { Verdict::Commit } else { Verdict::Adopt },
+            verdict: if raw_empty {
+                Verdict::Commit
+            } else {
+                Verdict::Adopt
+            },
             code,
             value,
         }
@@ -184,7 +187,6 @@ pub struct GafniSnapshotProposer<V> {
     phase: SnapPhase<V>,
 }
 
-
 impl<V: Value> GafniSnapshotProposer<V> {
     fn first_candidate(&self, view: &ScanView<V>) -> Option<(u64, V)> {
         view.present()
@@ -216,7 +218,11 @@ impl<V: Value> Process for GafniSnapshotProposer<V> {
                 let cand = view
                     .present()
                     .all(|(_, v)| (self.shared.code_of)(v) == self.code);
-                let target = if cand { self.shared.bcand } else { self.shared.braw };
+                let target = if cand {
+                    self.shared.bcand
+                } else {
+                    self.shared.braw
+                };
                 self.phase = SnapPhase::AwaitAckB { cand };
                 Step::Issue(Op::SnapshotUpdate(
                     target,
@@ -232,7 +238,8 @@ impl<V: Value> Process for GafniSnapshotProposer<V> {
                 let view = prev.expect("resumed with scan of Bcand").expect_view();
                 if cand {
                     debug_assert!(
-                        view.present().all(|(_, v)| (self.shared.code_of)(v) == self.code),
+                        view.present()
+                            .all(|(_, v)| (self.shared.code_of)(v) == self.code),
                         "two candidate writers with different codes"
                     );
                     self.phase = SnapPhase::AwaitViewBr { candidate: None };
@@ -241,13 +248,25 @@ impl<V: Value> Process for GafniSnapshotProposer<V> {
                     // Raw path never commits, so the raw array is
                     // irrelevant: decide now (4 ops total).
                     let candidate = self.first_candidate(&view);
-                    Step::Done(decide(false, false, candidate, self.code, self.value.clone()))
+                    Step::Done(decide(
+                        false,
+                        false,
+                        candidate,
+                        self.code,
+                        self.value.clone(),
+                    ))
                 }
             }
             SnapPhase::AwaitViewBr { candidate } => {
                 let view = prev.expect("resumed with scan of Braw").expect_view();
                 let raw_empty = view.present().next().is_none();
-                Step::Done(decide(true, raw_empty, candidate, self.code, self.value.clone()))
+                Step::Done(decide(
+                    true,
+                    raw_empty,
+                    candidate,
+                    self.code,
+                    self.value.clone(),
+                ))
             }
             SnapPhase::Finished => panic!("proposer stepped after completion"),
         }
@@ -417,7 +436,10 @@ impl<V: Value> Process for GafniRegisterProposer<V> {
                         }
                     }
                     if next < n {
-                        self.phase = RegPhase::CollectBc { next: next + 1, cand };
+                        self.phase = RegPhase::CollectBc {
+                            next: next + 1,
+                            cand,
+                        };
                         return Step::Issue(Op::RegisterRead(self.shared.bcand[next]));
                     }
                     if cand {

@@ -135,15 +135,12 @@ mod tests {
 
     #[test]
     fn accepts_legal_outcomes() {
-        check_ac_properties(&[3, 3, 3], &[out(Verdict::Commit, 3), out(Verdict::Commit, 3), None]);
         check_ac_properties(
-            &[1, 2],
-            &[out(Verdict::Adopt, 2), out(Verdict::Adopt, 1)],
+            &[3, 3, 3],
+            &[out(Verdict::Commit, 3), out(Verdict::Commit, 3), None],
         );
-        check_ac_properties(
-            &[1, 2],
-            &[out(Verdict::Commit, 2), out(Verdict::Adopt, 2)],
-        );
+        check_ac_properties(&[1, 2], &[out(Verdict::Adopt, 2), out(Verdict::Adopt, 1)]);
+        check_ac_properties(&[1, 2], &[out(Verdict::Commit, 2), out(Verdict::Adopt, 2)]);
         check_ac_properties::<u64>(&[], &[]);
     }
 
@@ -167,7 +164,17 @@ mod tests {
 
     #[test]
     fn is_commit_helper() {
-        assert!(AcOutput { verdict: Verdict::Commit, code: 0, value: 0u64 }.is_commit());
-        assert!(!AcOutput { verdict: Verdict::Adopt, code: 0, value: 0u64 }.is_commit());
+        assert!(AcOutput {
+            verdict: Verdict::Commit,
+            code: 0,
+            value: 0u64
+        }
+        .is_commit());
+        assert!(!AcOutput {
+            verdict: Verdict::Adopt,
+            code: 0,
+            value: 0u64
+        }
+        .is_commit());
     }
 }

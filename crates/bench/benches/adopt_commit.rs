@@ -1,8 +1,9 @@
-//! Criterion benches: adopt-commit object cost across the code space
+//! Wall-clock benches (in-tree microbench harness): adopt-commit object cost across the code space
 //! (wall-clock form of experiment E14).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sift_adopt_commit::{AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc, GafniSnapshotAc};
+use sift_bench::microbench::{BenchmarkId, Criterion};
+use sift_bench::{criterion_group, criterion_main};
 use sift_sim::schedule::RandomInterleave;
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
 

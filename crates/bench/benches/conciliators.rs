@@ -1,9 +1,10 @@
-//! Criterion benches: simulated-execution throughput of each
+//! Wall-clock benches (in-tree microbench harness): simulated-execution throughput of each
 //! conciliator across n (mirrors experiments E3/E6/E7 in wall-clock
 //! form).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_bench::microbench::{BenchmarkId, Criterion};
 use sift_bench::run_trial;
+use sift_bench::{criterion_group, criterion_main};
 use sift_core::{
     CilConciliator, EmbeddedConciliator, Epsilon, MaxConciliator, SiftingConciliator,
     SnapshotConciliator,

@@ -1,7 +1,8 @@
-//! Criterion benches: full consensus stacks end to end (wall-clock form
+//! Wall-clock benches (in-tree microbench harness): full consensus stacks end to end (wall-clock form
 //! of experiments E8/E9).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_bench::microbench::{BenchmarkId, Criterion};
+use sift_bench::{criterion_group, criterion_main};
 use sift_consensus::{
     cil_consensus, linear_work_consensus, max_register_consensus, sifting_consensus,
     snapshot_consensus,

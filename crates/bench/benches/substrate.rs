@@ -1,7 +1,8 @@
-//! Criterion benches: the threaded shared-memory substrate — object
+//! Wall-clock benches (in-tree microbench harness): the threaded shared-memory substrate — object
 //! operation costs and a conciliator running on real threads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sift_bench::microbench::Criterion;
+use sift_bench::{criterion_group, criterion_main};
 use sift_core::{Conciliator, Epsilon, SiftingConciliator};
 use sift_shmem::max_register::{LockMaxRegister, TreeMaxRegister};
 use sift_shmem::register::{AtomicIndexRegister, LockRegister};

@@ -1,6 +1,7 @@
-//! Criterion benches: test-and-set cost (wall-clock form of E17).
+//! Wall-clock benches (in-tree microbench harness): test-and-set cost (wall-clock form of E17).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_bench::microbench::{BenchmarkId, Criterion};
+use sift_bench::{criterion_group, criterion_main};
 use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::RandomInterleave;
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
@@ -18,12 +19,9 @@ fn bench_tas(c: &mut Criterion) {
                 let layout = builder.build();
                 let split = SeedSplitter::new(seed);
                 let procs: Vec<_> = (0..n)
-                    .map(|i| {
-                        tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
-                    })
+                    .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
                     .collect();
-                Engine::new(&layout, procs)
-                    .run(RandomInterleave::new(n, split.seed("schedule", 0)))
+                Engine::new(&layout, procs).run(RandomInterleave::new(n, split.seed("schedule", 0)))
             });
         });
         group.bench_with_input(BenchmarkId::new("tournament_tas", n), &n, |b, &n| {
@@ -35,12 +33,9 @@ fn bench_tas(c: &mut Criterion) {
                 let layout = builder.build();
                 let split = SeedSplitter::new(seed);
                 let procs: Vec<_> = (0..n)
-                    .map(|i| {
-                        tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
-                    })
+                    .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
                     .collect();
-                Engine::new(&layout, procs)
-                    .run(RandomInterleave::new(n, split.seed("schedule", 0)))
+                Engine::new(&layout, procs).run(RandomInterleave::new(n, split.seed("schedule", 0)))
             });
         });
     }

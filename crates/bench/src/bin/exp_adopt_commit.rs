@@ -1,5 +1,6 @@
 //! Experiment binary: prints the `adopt_commit` tables (see DESIGN.md index).
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::adopt_commit::run() {
         t.print();
     }

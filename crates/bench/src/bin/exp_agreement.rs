@@ -1,5 +1,6 @@
 //! Experiment binary: prints the `agreement` tables (see DESIGN.md index).
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::agreement::run() {
         t.print();
     }

@@ -1,6 +1,7 @@
 //! Runs the entire experiment suite (E1–E21) and prints every table.
 //! Output of this binary is what `EXPERIMENTS.md` records.
 fn main() {
+    sift_bench::cli::init();
     let start = std::time::Instant::now();
     for t in sift_bench::experiments::run_all() {
         t.print();

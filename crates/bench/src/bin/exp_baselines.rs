@@ -1,5 +1,6 @@
 //! Experiment binary: prints the `baselines` tables (see DESIGN.md index).
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::baselines::run() {
         t.print();
     }

@@ -1,5 +1,6 @@
 //! Experiment binary: prints the `consensus` tables (see DESIGN.md index).
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::consensus::run() {
         t.print();
     }

@@ -1,5 +1,6 @@
 //! Experiment binary: prints the `cost_model` tables (see DESIGN.md index).
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::cost_model::run() {
         t.print();
     }

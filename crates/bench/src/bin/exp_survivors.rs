@@ -1,5 +1,6 @@
 //! E1/E4/E5: survivor decay per round for both conciliators.
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::survivors::snapshot_conciliator() {
         t.print();
     }

@@ -1,5 +1,6 @@
 //! Experiment binary: prints the `test_and_set` tables (see DESIGN.md index).
 fn main() {
+    sift_bench::cli::init();
     for t in sift_bench::experiments::test_and_set::run() {
         t.print();
     }

@@ -1,0 +1,111 @@
+//! Shared command-line handling for the `exp_*` binaries.
+//!
+//! Every experiment binary accepts the same three knobs, mirroring the
+//! `SIFT_*` environment variables (flags win):
+//!
+//! * `--threads N` — worker threads for the parallel executor
+//!   (`SIFT_THREADS`).
+//! * `--trials N` — trial count scale (`SIFT_TRIALS`).
+//! * `--seed N` — master seed for per-trial seed derivation
+//!   (`SIFT_SEED`).
+
+use crate::exec;
+
+const USAGE: &str = "\
+Options:
+  --threads N   worker threads (default: available parallelism; env SIFT_THREADS)
+  --trials N    trials per configuration (env SIFT_TRIALS)
+  --seed N      master seed, 0 = historical seed layout (env SIFT_SEED)
+  -h, --help    print this help\
+";
+
+/// Parses the standard experiment flags from `std::env::args` and
+/// applies them to the executor. Call first in every `exp_*` `main`.
+///
+/// Exits with usage on `-h`/`--help` or an unknown flag; panics on a
+/// malformed value (same contract as the env knobs).
+pub fn init() {
+    let argv: Vec<String> = std::env::args().collect();
+    apply(&argv[1..]);
+}
+
+fn apply(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "-h" | "--help" => {
+                println!("usage: {} [options]\n{USAGE}", bin_name());
+                std::process::exit(0);
+            }
+            "--threads" | "--trials" | "--seed" => {
+                let value = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} requires a value\n{USAGE}"));
+                let parsed: u64 = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{flag} must be an integer, got {value:?}"));
+                match flag {
+                    "--threads" => {
+                        assert!(parsed > 0, "--threads must be positive");
+                        exec::set_threads(parsed as usize);
+                    }
+                    "--trials" => {
+                        assert!(parsed > 0, "--trials must be positive");
+                        // `default_trials` reads the env variable, so the
+                        // flag writes through to it.
+                        std::env::set_var("SIFT_TRIALS", value);
+                    }
+                    _ => exec::set_master_seed(parsed),
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "unknown option {other:?}\nusage: {} [options]\n{USAGE}",
+                    bin_name()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|p| p.rsplit('/').next().map(str::to_owned))
+        .unwrap_or_else(|| "exp".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn applies_threads_and_seed() {
+        let _guard = crate::exec::override_lock();
+        apply(&args(&["--threads", "3", "--seed", "9"]));
+        assert_eq!(exec::threads(), 3);
+        assert_eq!(exec::master_seed(), 9);
+        exec::set_threads(0);
+        exec::set_master_seed(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be an integer")]
+    fn rejects_malformed_value() {
+        apply(&args(&["--threads", "many"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn rejects_missing_value() {
+        apply(&args(&["--seed"]));
+    }
+}

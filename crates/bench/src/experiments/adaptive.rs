@@ -20,8 +20,9 @@ use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::RandomInterleave;
 use sift_sim::{Engine, LayoutBuilder, Op, ProcessId};
 
+use crate::exec::Batch;
 use crate::runner::default_trials;
-use crate::stats::{RateCounter, Summary};
+use crate::stats::{RateCounter, Welford};
 use crate::table::{fmt_f64, Table};
 
 fn distinct_outputs<P, O: std::hash::Hash + Eq>(
@@ -118,25 +119,34 @@ pub fn run() -> Vec<Table> {
     );
     let n = 64;
     let trials = default_trials(150);
+    type RunFn = fn(usize, u64, bool) -> (bool, usize);
     for (name, runner) in [
-        (
-            "Alg 1 (snapshot)",
-            &snapshot_run as &dyn Fn(usize, u64, bool) -> (bool, usize),
-        ),
-        ("Alg 2 (sifting)", &sifting_run),
+        ("Alg 1 (snapshot)", snapshot_run as RunFn),
+        ("Alg 2 (sifting)", sifting_run as RunFn),
     ] {
         for adaptive in [false, true] {
-            let mut agree = RateCounter::new();
-            let mut distinct = Vec::new();
-            for seed in 0..trials as u64 {
-                let (ok, d) = runner(n, seed, adaptive);
-                agree.record(ok);
-                distinct.push(d as f64);
-            }
-            let s = Summary::of(&distinct);
+            let (agree, distinct) = Batch::new(
+                n,
+                trials,
+                sift_sim::schedule::ScheduleKind::RandomInterleave,
+            )
+            .run_with(
+                |spec| runner(n, spec.seed, adaptive),
+                || (RateCounter::new(), Welford::new()),
+                |(agree, distinct), (ok, d)| {
+                    agree.record(ok);
+                    distinct.push(d as f64);
+                },
+            );
+            let s = distinct.summary();
             table.row(vec![
                 name.to_string(),
-                if adaptive { "adaptive breaker" } else { "oblivious random" }.to_string(),
+                if adaptive {
+                    "adaptive breaker"
+                } else {
+                    "oblivious random"
+                }
+                .to_string(),
                 agree.total().to_string(),
                 fmt_f64(agree.rate()),
                 fmt_f64(s.mean),

@@ -3,14 +3,15 @@
 //! 2–3).
 
 use sift_adopt_commit::{
-    check_ac_properties, AcOutput, AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc,
-    GafniSnapshotAc,
+    check_ac_properties, AcOutput, AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc, GafniSnapshotAc,
 };
 use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::RandomInterleave;
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
 
+use crate::exec::Batch;
 use crate::runner::default_trials;
+use crate::stats::Peak;
 use crate::table::Table;
 
 fn run_object<A: AdoptCommit<u64>>(
@@ -36,6 +37,32 @@ fn run_object<A: AdoptCommit<u64>>(
     max
 }
 
+/// Worst proposer step count over a batch of property-checked runs of
+/// one adopt-commit implementation.
+fn worst_steps<A: AdoptCommit<u64>>(
+    n: usize,
+    trials: usize,
+    m: u64,
+    alloc: impl Fn(&mut LayoutBuilder) -> A + Sync,
+) -> u64 {
+    Batch::new(
+        n,
+        trials,
+        sift_sim::schedule::ScheduleKind::RandomInterleave,
+    )
+    .run_with(
+        |spec| {
+            let mut b = LayoutBuilder::new();
+            let ac = alloc(&mut b);
+            let layout = b.build();
+            run_object(&ac, &layout, m, n, spec.seed)
+        },
+        Peak::new,
+        |p, steps| p.record(steps),
+    )
+    .get()
+}
+
 /// Cost (max proposer steps) of each adopt-commit object versus `m`,
 /// with every run property-checked.
 pub fn run() -> Vec<Table> {
@@ -57,49 +84,26 @@ pub fn run() -> Vec<Table> {
 
         // Flags (skip very large m: O(m) registers).
         if m <= 4096 {
-            let mut worst = 0;
-            for seed in 0..trials as u64 {
-                let mut b = LayoutBuilder::new();
-                let ac = FlagsAc::allocate(&mut b, m as usize);
-                let layout = b.build();
-                worst = worst.max(run_object(&ac, &layout, m, n, seed));
-            }
+            let worst = worst_steps(n, trials, m, |b| FlagsAc::allocate(b, m as usize));
             cells.push(worst.to_string());
         } else {
             cells.push("-".to_string());
         }
 
         for &base in &[2u64, 16] {
-            let mut worst = 0;
-            for seed in 0..trials as u64 {
-                let mut b = LayoutBuilder::new();
-                let ac = DigitAc::for_code_space(&mut b, m, base);
-                let layout = b.build();
-                worst = worst.max(run_object(&ac, &layout, m, n, seed));
-            }
+            let worst = worst_steps(n, trials, m, |b| DigitAc::for_code_space(b, m, base));
             cells.push(worst.to_string());
         }
 
-        {
-            let mut worst = 0;
-            for seed in 0..trials as u64 {
-                let mut b = LayoutBuilder::new();
-                let ac = GafniSnapshotAc::<u64>::allocate(&mut b, n, |v| *v);
-                let layout = b.build();
-                worst = worst.max(run_object(&ac, &layout, m, n, seed));
-            }
-            cells.push(worst.to_string());
-        }
-        {
-            let mut worst = 0;
-            for seed in 0..trials as u64 {
-                let mut b = LayoutBuilder::new();
-                let ac = GafniRegisterAc::<u64>::allocate(&mut b, n, |v| *v);
-                let layout = b.build();
-                worst = worst.max(run_object(&ac, &layout, m, n, seed));
-            }
-            cells.push(worst.to_string());
-        }
+        let worst = worst_steps(n, trials, m, |b| {
+            GafniSnapshotAc::<u64>::allocate(b, n, |v| *v)
+        });
+        cells.push(worst.to_string());
+
+        let worst = worst_steps(n, trials, m, |b| {
+            GafniRegisterAc::<u64>::allocate(b, n, |v| *v)
+        });
+        cells.push(worst.to_string());
         table.row(cells);
     }
     table.note(

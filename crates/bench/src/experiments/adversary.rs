@@ -9,7 +9,8 @@ use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::{CrashSubset, RoundRobin, Schedule, ScheduleKind};
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
 
-use crate::runner::{default_trials, run_trial};
+use crate::exec::Batch;
+use crate::runner::default_trials;
 use crate::stats::RateCounter;
 use crate::table::{fmt_f64, Table};
 
@@ -19,65 +20,78 @@ pub fn run() -> Vec<Table> {
     vec![schedules(), crashes()]
 }
 
-type TrialFn = Box<dyn Fn(u64, ScheduleKind) -> bool>;
+type BatchFn = Box<dyn Fn(ScheduleKind, usize) -> RateCounter>;
 
 fn schedules() -> Table {
     let mut table = Table::new(
         "E12 — agreement rate per adversary strategy",
-        &["conciliator", "guarantee", "round-robin", "random", "block-seq", "block-rot", "stutter"],
+        &[
+            "conciliator",
+            "guarantee",
+            "round-robin",
+            "random",
+            "block-seq",
+            "block-rot",
+            "stutter",
+        ],
     );
     let n = 64;
     let trials = default_trials(300);
-    let algs: [(&str, &str, TrialFn); 5] = [
+    fn rate_of<C: Conciliator>(
+        n: usize,
+        trials: usize,
+        kind: ScheduleKind,
+        build: impl Fn(&mut LayoutBuilder) -> C + Sync,
+    ) -> RateCounter {
+        Batch::new(n, trials, kind).run(build, RateCounter::new, |r, t| r.record(t.agreed))
+    }
+    let algs: [(&str, &str, BatchFn); 5] = [
         (
             "Alg 1 (snapshot)",
             "≥ 0.5",
-            Box::new(move |seed, kind| {
-                run_trial(n, seed, kind, |b| {
+            Box::new(move |kind, trials| {
+                rate_of(n, trials, kind, |b| {
                     SnapshotConciliator::allocate(b, n, Epsilon::HALF)
                 })
-                .agreed
             }),
         ),
         (
             "Alg 2 (sifting)",
             "≥ 0.5",
-            Box::new(move |seed, kind| {
-                run_trial(n, seed, kind, |b| {
+            Box::new(move |kind, trials| {
+                rate_of(n, trials, kind, |b| {
                     SiftingConciliator::allocate(b, n, Epsilon::HALF)
                 })
-                .agreed
             }),
         ),
         (
             "Alg 3 (embedded)",
             "≥ 0.125",
-            Box::new(move |seed, kind| {
-                run_trial(n, seed, kind, |b| EmbeddedConciliator::allocate(b, n)).agreed
+            Box::new(move |kind, trials| {
+                rate_of(n, trials, kind, |b| EmbeddedConciliator::allocate(b, n))
             }),
         ),
         (
             "CIL",
             "≥ 0.75",
-            Box::new(move |seed, kind| {
-                run_trial(n, seed, kind, |b| CilConciliator::allocate(b, n)).agreed
+            Box::new(move |kind, trials| {
+                rate_of(n, trials, kind, |b| CilConciliator::allocate(b, n))
             }),
         ),
         (
             "escalating CIL",
             "≥ 0.25",
-            Box::new(move |seed, kind| {
-                run_trial(n, seed, kind, |b| EscalatingCilConciliator::allocate(b, n)).agreed
+            Box::new(move |kind, trials| {
+                rate_of(n, trials, kind, |b| {
+                    EscalatingCilConciliator::allocate(b, n)
+                })
             }),
         ),
     ];
     for (name, guarantee, runner) in &algs {
         let mut cells = vec![name.to_string(), guarantee.to_string()];
         for kind in ScheduleKind::all() {
-            let mut rate = RateCounter::new();
-            for seed in 0..trials as u64 {
-                rate.record(runner(seed, kind));
-            }
+            let rate = runner(kind, trials);
             cells.push(fmt_f64(rate.rate()));
         }
         table.row(cells);
@@ -92,31 +106,39 @@ fn schedules() -> Table {
 fn crashes() -> Table {
     let mut table = Table::new(
         "E16 — wait-freedom: sifting conciliator under crash subsets",
-        &["n", "crash fraction", "live processes", "live decided", "validity"],
+        &[
+            "n",
+            "crash fraction",
+            "live processes",
+            "live decided",
+            "validity",
+        ],
     );
     let n = 64;
     for &fraction in &[0.25, 0.5, 0.9] {
-        for seed in 0..default_trials(20) as u64 {
-            if seed > 0 {
-                continue; // one representative row per fraction; loop checks all
-            }
-            let (live, decided, valid) = crash_run(n, fraction, seed);
-            table.row(vec![
-                n.to_string(),
-                fraction.to_string(),
-                live.to_string(),
-                decided.to_string(),
-                if valid { "yes" } else { "NO" }.to_string(),
-            ]);
-        }
-        // Check every seed silently; panic on violation.
-        for seed in 0..default_trials(20) as u64 {
-            let (live, decided, valid) = crash_run(n, fraction, seed);
-            assert_eq!(live, decided, "wait-freedom violated at seed {seed}");
-            assert!(valid, "validity violated at seed {seed}");
-        }
+        // One representative row per fraction; the batch checks all seeds.
+        let (live, decided, valid) = crash_run(n, fraction, 0);
+        table.row(vec![
+            n.to_string(),
+            fraction.to_string(),
+            live.to_string(),
+            decided.to_string(),
+            if valid { "yes" } else { "NO" }.to_string(),
+        ]);
+        // Check every seed; in-trial asserts propagate through the
+        // executor's panic forwarding.
+        Batch::new(n, default_trials(20), ScheduleKind::RoundRobin).run_with(
+            |spec| {
+                let (live, decided, valid) = crash_run(n, fraction, spec.seed);
+                assert_eq!(live, decided, "wait-freedom violated at seed {}", spec.seed);
+                assert!(valid, "validity violated at seed {}", spec.seed);
+            },
+            || (),
+            |(), ()| {},
+        );
     }
-    table.note("Crashed processes never take a step; all survivors still terminate (wait-freedom).");
+    table
+        .note("Crashed processes never take a step; all survivors still terminate (wait-freedom).");
     table
 }
 
@@ -125,12 +147,7 @@ fn crash_run(n: usize, fraction: f64, seed: u64) -> (usize, usize, bool) {
     let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
     let layout = b.build();
     let split = SeedSplitter::new(seed);
-    let schedule = CrashSubset::random(
-        RoundRobin::new(n),
-        n,
-        fraction,
-        split.seed("schedule", 0),
-    );
+    let schedule = CrashSubset::random(RoundRobin::new(n), n, fraction, split.seed("schedule", 0));
     let live = schedule.support().len();
     let procs: Vec<_> = (0..n)
         .map(|i| {

@@ -1,11 +1,14 @@
 //! E11 — baseline comparison: CIL vs the paper's conciliators under
 //! benign and adversarial schedules ("who wins, by what factor").
 
-use sift_core::{CilConciliator, Epsilon, EscalatingCilConciliator, MaxConciliator, SiftingConciliator};
+use sift_core::{
+    CilConciliator, Epsilon, EscalatingCilConciliator, MaxConciliator, SiftingConciliator,
+};
 use sift_sim::schedule::ScheduleKind;
 
-use crate::runner::{default_trials, run_trial};
-use crate::stats::Summary;
+use crate::exec::Batch;
+use crate::runner::default_trials;
+use crate::stats::Welford;
 use crate::table::{fmt_mean_ci, Table};
 
 /// Measures worst-process step counts for each conciliator under the
@@ -22,45 +25,30 @@ pub fn run() -> Vec<Table> {
             "Alg 2 sifting (R)",
         ],
     );
+    let fold = |w: &mut Welford, t: crate::Trial| {
+        w.push(t.metrics.max_individual_steps() as f64);
+    };
     for &kind in &[ScheduleKind::RoundRobin, ScheduleKind::BlockSequential] {
         for &n in &[16usize, 64, 256, 1024] {
             let trials = default_trials(30);
-            let mut cil = Vec::new();
-            let mut esc = Vec::new();
-            let mut alg1 = Vec::new();
-            let mut alg2 = Vec::new();
-            for seed in 0..trials as u64 {
-                cil.push(
-                    run_trial(n, seed, kind, |b| CilConciliator::allocate(b, n))
-                        .metrics
-                        .max_individual_steps() as f64,
-                );
-                esc.push(
-                    run_trial(n, seed, kind, |b| EscalatingCilConciliator::allocate(b, n))
-                        .metrics
-                        .max_individual_steps() as f64,
-                );
-                alg1.push(
-                    run_trial(n, seed, kind, |b| {
-                        MaxConciliator::allocate(b, n, Epsilon::HALF)
-                    })
-                    .metrics
-                    .max_individual_steps() as f64,
-                );
-                alg2.push(
-                    run_trial(n, seed, kind, |b| {
-                        SiftingConciliator::allocate(b, n, Epsilon::HALF)
-                    })
-                    .metrics
-                    .max_individual_steps() as f64,
-                );
-            }
-            let (c, e, a1, a2) = (
-                Summary::of(&cil),
-                Summary::of(&esc),
-                Summary::of(&alg1),
-                Summary::of(&alg2),
+            let batch = Batch::new(n, trials, kind);
+            let cil = batch.run(|b| CilConciliator::allocate(b, n), Welford::new, fold);
+            let esc = batch.run(
+                |b| EscalatingCilConciliator::allocate(b, n),
+                Welford::new,
+                fold,
             );
+            let alg1 = batch.run(
+                |b| MaxConciliator::allocate(b, n, Epsilon::HALF),
+                Welford::new,
+                fold,
+            );
+            let alg2 = batch.run(
+                |b| SiftingConciliator::allocate(b, n, Epsilon::HALF),
+                Welford::new,
+                fold,
+            );
+            let (c, e, a1, a2) = (cil.summary(), esc.summary(), alg1.summary(), alg2.summary());
             table.row(vec![
                 kind.name().to_string(),
                 n.to_string(),

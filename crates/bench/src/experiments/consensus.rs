@@ -12,8 +12,9 @@ use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::RandomInterleave;
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
 
+use crate::exec::Batch;
 use crate::runner::default_trials;
-use crate::stats::Summary;
+use crate::stats::{Peak, Welford};
 use crate::table::{fmt_f64, fmt_mean_ci, Table};
 
 struct StackRun {
@@ -92,33 +93,42 @@ fn n_sweep() -> Table {
     let m = 8u64;
     for &n in &[8usize, 32, 128, 512] {
         let trials = default_trials((4000 / n).clamp(8, 80));
-        for stack in ["snapshot (Cor. 1)", "sifting (Cor. 2)", "linear-work (Cor. 3)"] {
-            let mut indiv = Vec::new();
-            let mut phases = 0usize;
-            let mut conc = Vec::new();
-            let mut ac = Vec::new();
-            for seed in 0..trials as u64 {
-                let mut b = LayoutBuilder::new();
-                let run = match stack {
-                    "snapshot (Cor. 1)" => {
-                        let p = max_register_consensus(&mut b, n);
-                        run_stack(b.build(), p, n, m, seed)
+        for stack in [
+            "snapshot (Cor. 1)",
+            "sifting (Cor. 2)",
+            "linear-work (Cor. 3)",
+        ] {
+            let (indiv, phases) = Batch::new(
+                n,
+                trials,
+                sift_sim::schedule::ScheduleKind::RandomInterleave,
+            )
+            .run_with(
+                |spec| {
+                    let mut b = LayoutBuilder::new();
+                    match stack {
+                        "snapshot (Cor. 1)" => {
+                            let p = max_register_consensus(&mut b, n);
+                            run_stack(b.build(), p, n, m, spec.seed)
+                        }
+                        "sifting (Cor. 2)" => {
+                            let p = sifting_consensus(&mut b, n, m, 2);
+                            run_stack(b.build(), p, n, m, spec.seed)
+                        }
+                        _ => {
+                            let p = linear_work_consensus(&mut b, n, m, 2);
+                            run_stack(b.build(), p, n, m, spec.seed)
+                        }
                     }
-                    "sifting (Cor. 2)" => {
-                        let p = sifting_consensus(&mut b, n, m, 2);
-                        run_stack(b.build(), p, n, m, seed)
-                    }
-                    _ => {
-                        let p = linear_work_consensus(&mut b, n, m, 2);
-                        run_stack(b.build(), p, n, m, seed)
-                    }
-                };
-                indiv.push(run.mean_individual);
-                phases = phases.max(run.max_phases);
-                conc.push(run.conciliator_steps);
-                ac.push(run.adopt_commit_steps);
-            }
-            let s = Summary::of(&indiv);
+                },
+                || (Welford::new(), Peak::new()),
+                |(indiv, phases), run| {
+                    indiv.push(run.mean_individual);
+                    phases.record(run.max_phases as u64);
+                },
+            );
+            let phases = phases.get();
+            let s = indiv.summary();
             let delta = match stack {
                 "linear-work (Cor. 3)" => 0.125,
                 _ => 0.5,
@@ -155,23 +165,36 @@ fn m_sweep() -> Table {
     let n = 64usize;
     for &m in &[2u64, 16, 256, 4096, 65_536, 1 << 24] {
         let trials = default_trials(30);
-        let mut conc = Vec::new();
-        let mut ac = Vec::new();
-        for seed in 0..trials as u64 {
-            let mut b = LayoutBuilder::new();
-            let p = sifting_consensus(&mut b, n, m, 2);
-            let run = run_stack(b.build(), p, n, m, seed);
-            conc.push(run.conciliator_steps);
-            ac.push(run.adopt_commit_steps);
-        }
-        let (c, a) = (Summary::of(&conc), Summary::of(&ac));
+        let (conc, ac) = Batch::new(
+            n,
+            trials,
+            sift_sim::schedule::ScheduleKind::RandomInterleave,
+        )
+        .run_with(
+            |spec| {
+                let mut b = LayoutBuilder::new();
+                let p = sifting_consensus(&mut b, n, m, 2);
+                run_stack(b.build(), p, n, m, spec.seed)
+            },
+            || (Welford::new(), Welford::new()),
+            |(conc, ac), run| {
+                conc.push(run.conciliator_steps);
+                ac.push(run.adopt_commit_steps);
+            },
+        );
+        let (c, a) = (conc.summary(), ac.summary());
         let share = a.mean / (a.mean + c.mean);
         table.row(vec![
             m.to_string(),
             fmt_mean_ci(c.mean, c.ci95),
             fmt_mean_ci(a.mean, a.ci95),
             fmt_f64(share),
-            if share > 0.5 { "adopt-commit" } else { "conciliator" }.to_string(),
+            if share > 0.5 {
+                "adopt-commit"
+            } else {
+                "conciliator"
+            }
+            .to_string(),
         ]);
     }
     table.note(

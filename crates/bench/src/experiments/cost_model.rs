@@ -65,7 +65,12 @@ pub fn run() -> Vec<Table> {
             unit.to_string(),
             register.to_string(),
             alg2.to_string(),
-            if alg2 < register { "Alg 2 (sifting)" } else { "Alg 1" }.to_string(),
+            if alg2 < register {
+                "Alg 2 (sifting)"
+            } else {
+                "Alg 1"
+            }
+            .to_string(),
         ]);
     }
     table.note(

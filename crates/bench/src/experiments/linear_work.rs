@@ -7,8 +7,9 @@ use sift_core::{Conciliator, EmbeddedConciliator, Epsilon, SiftingConciliator};
 use sift_sim::schedule::ScheduleKind;
 use sift_sim::LayoutBuilder;
 
-use crate::runner::{default_trials, run_trial};
-use crate::stats::{RateCounter, Summary};
+use crate::exec::Batch;
+use crate::runner::default_trials;
+use crate::stats::{Peak, RateCounter, Welford};
 use crate::table::{fmt_f64, fmt_mean_ci, Table};
 
 /// Measures Algorithm 3's total and individual step complexity and
@@ -30,15 +31,16 @@ pub fn run() -> Vec<Table> {
     let kind = ScheduleKind::RandomInterleave;
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let trials = default_trials((40_000 / n).clamp(10, 200));
-        let mut totals = Vec::new();
-        let mut max_indiv = 0u64;
-        let mut agree = RateCounter::new();
-        for seed in 0..trials as u64 {
-            let t = run_trial(n, seed, kind, |b| EmbeddedConciliator::allocate(b, n));
-            totals.push(t.metrics.total_steps as f64);
-            max_indiv = max_indiv.max(t.metrics.max_individual_steps());
-            agree.record(t.agreed);
-        }
+        let (totals, max_indiv, agree) = Batch::new(n, trials, kind).run(
+            |b| EmbeddedConciliator::allocate(b, n),
+            || (Welford::new(), Peak::new(), RateCounter::new()),
+            |(totals, max_indiv, agree), t| {
+                totals.push(t.metrics.total_steps as f64);
+                max_indiv.record(t.metrics.max_individual_steps());
+                agree.record(t.agreed);
+            },
+        );
+        let max_indiv = max_indiv.get();
         let alg2_total = {
             let mut b = LayoutBuilder::new();
             let c = SiftingConciliator::allocate(&mut b, n, Epsilon::QUARTER);
@@ -50,7 +52,7 @@ pub fn run() -> Vec<Table> {
                 .steps_bound()
                 .expect("Algorithm 3 is bounded")
         };
-        let s = Summary::of(&totals);
+        let s = totals.summary();
         table.row(vec![
             n.to_string(),
             fmt_mean_ci(s.mean, s.ci95),

@@ -10,6 +10,7 @@ use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::ScheduleKind;
 use sift_sim::{LayoutBuilder, ProcessId};
 
+use crate::exec::Batch;
 use crate::runner::{default_trials, run_trial};
 use crate::stats::RateCounter;
 use crate::table::{fmt_f64, Table};
@@ -63,19 +64,28 @@ pub fn run() -> Vec<Table> {
     let trials = default_trials(800);
     for &factor in &[1u64, 16, 256, 4096, 65_536] {
         let range = (paper_range / factor).max(1);
-        let mut dup = RateCounter::new();
-        let mut disagree = RateCounter::new();
-        for seed in 0..trials as u64 {
-            dup.record(has_duplicate(n, rounds, range, seed));
-            let t = run_trial(n, seed, ScheduleKind::RandomInterleave, |b| {
-                SnapshotConciliator::with_parameters(b, n, rounds, range, eps)
-            });
-            disagree.record(!t.agreed);
-        }
+        let (dup, disagree) = Batch::new(n, trials, ScheduleKind::RandomInterleave).run_with(
+            |spec| {
+                let duplicated = has_duplicate(n, rounds, range, spec.seed);
+                let t = run_trial(n, spec.seed, spec.kind, |b| {
+                    SnapshotConciliator::with_parameters(b, n, rounds, range, eps)
+                });
+                (duplicated, !t.agreed)
+            },
+            || (RateCounter::new(), RateCounter::new()),
+            |(dup, disagree), (duplicated, disagreed)| {
+                dup.record(duplicated);
+                disagree.record(disagreed);
+            },
+        );
         table.row(vec![
             format!("1/{factor}"),
             range.to_string(),
-            fmt_f64(duplicate_priority_probability(n as u64, rounds as u64, range)),
+            fmt_f64(duplicate_priority_probability(
+                n as u64,
+                rounds as u64,
+                range,
+            )),
             fmt_f64(dup.rate()),
             fmt_f64(disagree.rate()),
         ]);

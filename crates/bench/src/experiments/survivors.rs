@@ -2,30 +2,32 @@
 //! paper's Lemma 1 (Algorithm 1) and Lemmas 3–4 (Algorithm 2).
 
 use sift_core::analysis::{lemma1_expected_excess, sifting_expected_excess};
-use sift_core::{Epsilon, SiftingConciliator, SnapshotConciliator};
+use sift_core::{
+    Conciliator, Epsilon, Persona, RoundHistory, SiftingConciliator, SnapshotConciliator,
+};
 use sift_sim::schedule::ScheduleKind;
+use sift_sim::{LayoutBuilder, Process};
 
-use crate::runner::{default_trials, run_trial_with_history};
+use crate::exec::Batch;
+use crate::runner::default_trials;
+use crate::stats::RoundExcess;
 use crate::table::{fmt_f64, Table};
 
-fn mean_excess_per_round(
+fn mean_excess_per_round<C, P>(
     n: usize,
     trials: usize,
     kind: ScheduleKind,
-    mut run: impl FnMut(usize, u64) -> Vec<usize>,
-) -> Vec<f64> {
-    let mut sums: Vec<f64> = Vec::new();
-    for seed in 0..trials as u64 {
-        let survivors = run(n, seed);
-        if sums.len() < survivors.len() {
-            sums.resize(survivors.len(), 0.0);
-        }
-        for (i, &s) in survivors.iter().enumerate() {
-            sums[i] += (s.saturating_sub(1)) as f64;
-        }
-    }
-    let _ = kind;
-    sums.iter().map(|s| s / trials as f64).collect()
+    build: impl Fn(&mut LayoutBuilder) -> C + Sync,
+) -> Vec<f64>
+where
+    C: Conciliator<Participant = P>,
+    P: Process<Value = Persona, Output = Persona> + RoundHistory,
+{
+    Batch::new(n, trials, kind)
+        .run_with_history(build, RoundExcess::new, |acc, t| {
+            acc.record(&t.survivors.expect("history collected"));
+        })
+        .means()
 }
 
 /// E1: Algorithm 1 survivor decay vs `f^{(i)}(n-1)`,
@@ -33,17 +35,19 @@ fn mean_excess_per_round(
 pub fn snapshot_conciliator() -> Vec<Table> {
     let mut table = Table::new(
         "E1 — Algorithm 1 (snapshot conciliator): mean excess personae per round",
-        &["n", "round", "measured E[X_i]", "paper bound f^(i)(n-1)", "within bound"],
+        &[
+            "n",
+            "round",
+            "measured E[X_i]",
+            "paper bound f^(i)(n-1)",
+            "within bound",
+        ],
     );
     let kind = ScheduleKind::RandomInterleave;
     for &n in &[16usize, 64, 256, 1024] {
         let trials = default_trials((6400 / n).max(24));
-        let means = mean_excess_per_round(n, trials, kind, |n, seed| {
-            run_trial_with_history(n, seed, kind, |b| {
-                SnapshotConciliator::allocate(b, n, Epsilon::HALF)
-            })
-            .survivors
-            .expect("history collected")
+        let means = mean_excess_per_round(n, trials, kind, |b| {
+            SnapshotConciliator::allocate(b, n, Epsilon::HALF)
         });
         for (i, &mean) in means.iter().enumerate() {
             let bound = lemma1_expected_excess(n as u64, (i + 1) as u32);
@@ -67,7 +71,14 @@ pub fn snapshot_conciliator() -> Vec<Table> {
 pub fn sifting_conciliator() -> Vec<Table> {
     let mut table = Table::new(
         "E4/E5 — Algorithm 2 (sifting conciliator): mean excess personae per round",
-        &["n", "round", "phase", "measured E[X_i]", "paper bound", "within bound"],
+        &[
+            "n",
+            "round",
+            "phase",
+            "measured E[X_i]",
+            "paper bound",
+            "within bound",
+        ],
     );
     let kind = ScheduleKind::RandomInterleave;
     for &n in &[16usize, 256, 4096, 65536] {
@@ -76,17 +87,17 @@ pub fn sifting_conciliator() -> Vec<Table> {
             let mut b = sift_sim::LayoutBuilder::new();
             SiftingConciliator::allocate(&mut b, n, Epsilon::HALF).aggressive_rounds()
         };
-        let means = mean_excess_per_round(n, trials, kind, |n, seed| {
-            run_trial_with_history(n, seed, kind, |b| {
-                SiftingConciliator::allocate(b, n, Epsilon::HALF)
-            })
-            .survivors
-            .expect("history collected")
+        let means = mean_excess_per_round(n, trials, kind, |b| {
+            SiftingConciliator::allocate(b, n, Epsilon::HALF)
         });
         for (i, &mean) in means.iter().enumerate() {
             let round = i + 1;
             let bound = sifting_expected_excess(n as u64, round as u32);
-            let phase = if round <= aggressive { "p_i (eq. 3)" } else { "p = 1/2" };
+            let phase = if round <= aggressive {
+                "p_i (eq. 3)"
+            } else {
+                "p = 1/2"
+            };
             table.row(vec![
                 n.to_string(),
                 round.to_string(),

@@ -7,8 +7,9 @@ use sift_core::math::{ceil_log_log, sifting_p};
 use sift_core::{Epsilon, SiftingConciliator};
 use sift_sim::schedule::ScheduleKind;
 
-use crate::runner::{default_trials, run_trial};
-use crate::stats::RateCounter;
+use crate::exec::{Batch, Merge};
+use crate::runner::default_trials;
+use crate::stats::{RateCounter, Truncations};
 use crate::table::{fmt_f64, Table};
 
 /// Measures the disagreement rate of Algorithm 2 as a function of the
@@ -30,18 +31,26 @@ pub fn run() -> Vec<Table> {
     let kind = ScheduleKind::RandomInterleave;
     let aggressive = ceil_log_log(n as u64);
     let trials = default_trials(1200);
+    let mut truncations = Truncations::new();
     for &j in &[1u32, 2, 4, 6, 8, 10, 12, 16, 20] {
         let probs: Vec<f64> = (1..=aggressive + j)
-            .map(|i| if i <= aggressive { sifting_p(n as u64, i) } else { 0.5 })
+            .map(|i| {
+                if i <= aggressive {
+                    sifting_p(n as u64, i)
+                } else {
+                    0.5
+                }
+            })
             .collect();
-        let mut rate = RateCounter::new();
-        for seed in 0..trials as u64 {
-            let probs = probs.clone();
-            let t = run_trial(n, seed, kind, move |b| {
-                SiftingConciliator::with_probabilities(b, n, probs, Epsilon::HALF)
-            });
-            rate.record(!t.agreed);
-        }
+        let (rate, trunc) = Batch::new(n, trials, kind).run(
+            |b| SiftingConciliator::with_probabilities(b, n, probs.clone(), Epsilon::HALF),
+            || (RateCounter::new(), Truncations::new()),
+            |(rate, trunc), t| {
+                rate.record(!t.agreed);
+                trunc.record(t.stop_reason);
+            },
+        );
+        truncations.merge(trunc);
         let bound = (8.0 * 0.75f64.powi(j as i32)).min(1.0);
         table.row(vec![
             j.to_string(),
@@ -57,5 +66,8 @@ pub fn run() -> Vec<Table> {
          disagreement decays geometrically, matching the Θ(log 1/ε) round cost that the \
          Attiya–Censor-Hillel lower bound shows is necessary.",
     );
+    if let Some(note) = truncations.note() {
+        table.note(&note);
+    }
     vec![table]
 }

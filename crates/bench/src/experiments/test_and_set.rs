@@ -8,9 +8,18 @@ use sift_sim::schedule::ScheduleKind;
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
 use sift_tas::{check_tas_properties, SiftingTas, TasOutcome, TournamentTas};
 
+use crate::exec::Batch;
 use crate::runner::default_trials;
-use crate::stats::Summary;
+use crate::stats::Welford;
 use crate::table::{fmt_f64, fmt_mean_ci, Table};
+
+/// Per-trial measurements of one sifting-TAS + plain-tournament pair.
+struct TasTrial {
+    survivors: f64,
+    winner_steps: Vec<f64>,
+    loser_steps: Vec<f64>,
+    plain_loser_steps: Vec<f64>,
+}
 
 /// Loser/winner cost split of the sifting test-and-set versus a plain
 /// tournament, across `n`.
@@ -30,63 +39,92 @@ pub fn run() -> Vec<Table> {
     let kind = ScheduleKind::RandomInterleave;
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let trials = default_trials((20_000 / n).clamp(8, 100));
-        let mut survivors = Vec::new();
-        let mut loser_steps = Vec::new();
-        let mut winner_steps = Vec::new();
-        let mut plain_loser_steps = Vec::new();
-        for seed in 0..trials as u64 {
-            // Sifting TAS.
-            let mut b = LayoutBuilder::new();
-            let tas = SiftingTas::allocate(&mut b, n);
-            let layout = b.build();
-            let split = SeedSplitter::new(seed);
-            let procs: Vec<_> = (0..n)
-                .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
-                .collect();
-            let report =
-                Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));
-            check_tas_properties(&report.outputs);
-            survivors.push(
-                report
-                    .processes
-                    .iter()
-                    .filter(|p| p.reached_tournament())
-                    .count() as f64,
-            );
-            for (i, out) in report.outputs.iter().enumerate() {
-                let steps = report.metrics.per_process_steps[i] as f64;
-                match out {
-                    Some(TasOutcome::Won) => winner_steps.push(steps),
-                    Some(TasOutcome::Lost) => loser_steps.push(steps),
-                    None => {}
-                }
-            }
+        let (survivors, loser_steps, winner_steps, plain_loser_steps) = Batch::new(n, trials, kind)
+            .run_with(
+                |spec| {
+                    // Sifting TAS.
+                    let mut b = LayoutBuilder::new();
+                    let tas = SiftingTas::allocate(&mut b, n);
+                    let layout = b.build();
+                    let split = SeedSplitter::new(spec.seed);
+                    let procs: Vec<_> = (0..n)
+                        .map(|i| {
+                            tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
+                        })
+                        .collect();
+                    let report =
+                        Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));
+                    check_tas_properties(&report.outputs);
+                    let mut trial = TasTrial {
+                        survivors: report
+                            .processes
+                            .iter()
+                            .filter(|p| p.reached_tournament())
+                            .count() as f64,
+                        winner_steps: Vec::new(),
+                        loser_steps: Vec::new(),
+                        plain_loser_steps: Vec::new(),
+                    };
+                    for (i, out) in report.outputs.iter().enumerate() {
+                        let steps = report.metrics.per_process_steps[i] as f64;
+                        match out {
+                            Some(TasOutcome::Won) => trial.winner_steps.push(steps),
+                            Some(TasOutcome::Lost) => trial.loser_steps.push(steps),
+                            None => {}
+                        }
+                    }
 
-            // Plain tournament for contrast.
-            let mut b = LayoutBuilder::new();
-            let tas = TournamentTas::allocate(&mut b, n);
-            let layout = b.build();
-            let procs: Vec<_> = (0..n)
-                .map(|i| tas.participant(ProcessId(i), &mut split.stream("plain", i as u64)))
-                .collect();
-            let report =
-                Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule2", 0)));
-            check_tas_properties(&report.outputs);
-            for (i, out) in report.outputs.iter().enumerate() {
-                if out == &Some(TasOutcome::Lost) {
-                    plain_loser_steps.push(report.metrics.per_process_steps[i] as f64);
-                }
-            }
-        }
+                    // Plain tournament for contrast.
+                    let mut b = LayoutBuilder::new();
+                    let tas = TournamentTas::allocate(&mut b, n);
+                    let layout = b.build();
+                    let procs: Vec<_> = (0..n)
+                        .map(|i| {
+                            tas.participant(ProcessId(i), &mut split.stream("plain", i as u64))
+                        })
+                        .collect();
+                    let report =
+                        Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule2", 0)));
+                    check_tas_properties(&report.outputs);
+                    for (i, out) in report.outputs.iter().enumerate() {
+                        if out == &Some(TasOutcome::Lost) {
+                            trial
+                                .plain_loser_steps
+                                .push(report.metrics.per_process_steps[i] as f64);
+                        }
+                    }
+                    trial
+                },
+                || {
+                    (
+                        Welford::new(),
+                        Welford::new(),
+                        Welford::new(),
+                        Welford::new(),
+                    )
+                },
+                |(survivors, losers, winners, plain), trial| {
+                    survivors.push(trial.survivors);
+                    for x in trial.loser_steps {
+                        losers.push(x);
+                    }
+                    for x in trial.winner_steps {
+                        winners.push(x);
+                    }
+                    for x in trial.plain_loser_steps {
+                        plain.push(x);
+                    }
+                },
+            );
         let rounds = {
             let mut b = LayoutBuilder::new();
             SiftingTas::allocate(&mut b, n).sift_rounds()
         };
         let (s, l, w, pl) = (
-            Summary::of(&survivors),
-            Summary::of(&loser_steps),
-            Summary::of(&winner_steps),
-            Summary::of(&plain_loser_steps),
+            survivors.summary(),
+            loser_steps.summary(),
+            winner_steps.summary(),
+            plain_loser_steps.summary(),
         );
         table.row(vec![
             n.to_string(),

@@ -9,8 +9,9 @@ use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::RandomInterleave;
 use sift_sim::{Engine, LayoutBuilder, ProcessId};
 
+use crate::exec::Batch;
 use crate::runner::default_trials;
-use crate::stats::RateCounter;
+use crate::stats::{Last, RateCounter};
 use crate::table::{fmt_f64, Table};
 
 /// Register widths across `(n, m)` plus the compact conciliator's
@@ -18,7 +19,14 @@ use crate::table::{fmt_f64, Table};
 pub fn run() -> Vec<Table> {
     let mut widths = Table::new(
         "E19a — sifting register width in bits (ε = 1/2)",
-        &["n", "m", "R", "with id: ⌈log n⌉+⌈log m⌉+R+1", "compact: ⌈log m⌉+R+1", "saved"],
+        &[
+            "n",
+            "m",
+            "R",
+            "with id: ⌈log n⌉+⌈log m⌉+R+1",
+            "compact: ⌈log m⌉+R+1",
+            "saved",
+        ],
     );
     for &n in &[1u64 << 8, 1 << 16, 1 << 24, 1 << 40] {
         for &m in &[2u64, 256, 1 << 16] {
@@ -37,33 +45,50 @@ pub fn run() -> Vec<Table> {
 
     let mut behaviour = Table::new(
         "E19b — compact (id-free) sifting conciliator: agreement unchanged",
-        &["n", "m", "register bits", "trials", "agree rate", "guarantee"],
+        &[
+            "n",
+            "m",
+            "register bits",
+            "trials",
+            "agree rate",
+            "guarantee",
+        ],
     );
     for &(n, m) in &[(64usize, 4u64), (256, 16), (1024, 256)] {
         let trials = default_trials(400);
-        let mut agree = RateCounter::new();
-        let mut bits = 0;
-        for seed in 0..trials as u64 {
-            let mut b = LayoutBuilder::new();
-            let c = CompactSiftingConciliator::allocate(&mut b, n, m, Epsilon::HALF);
-            bits = c.register_bits();
-            let layout = b.build();
-            let split = SeedSplitter::new(seed);
-            let procs: Vec<_> = (0..n)
-                .map(|i| {
-                    let mut rng = split.stream("process", i as u64);
-                    c.participant(ProcessId(i), i as u64 % m, &mut rng)
-                })
-                .collect();
-            let report = Engine::new(&layout, procs)
-                .run(RandomInterleave::new(n, split.seed("schedule", 0)));
-            let outs: Vec<u64> = report.unwrap_outputs();
-            agree.record(outs.windows(2).all(|w| w[0] == w[1]));
-        }
+        let (agree, bits) = Batch::new(
+            n,
+            trials,
+            sift_sim::schedule::ScheduleKind::RandomInterleave,
+        )
+        .run_with(
+            |spec| {
+                let mut b = LayoutBuilder::new();
+                let c = CompactSiftingConciliator::allocate(&mut b, n, m, Epsilon::HALF);
+                let bits = c.register_bits();
+                let layout = b.build();
+                let split = SeedSplitter::new(spec.seed);
+                let procs: Vec<_> = (0..n)
+                    .map(|i| {
+                        let mut rng = split.stream("process", i as u64);
+                        c.participant(ProcessId(i), i as u64 % m, &mut rng)
+                    })
+                    .collect();
+                let report = Engine::new(&layout, procs)
+                    .run(RandomInterleave::new(n, split.seed("schedule", 0)));
+                let outs: Vec<u64> = report.unwrap_outputs();
+                (outs.windows(2).all(|w| w[0] == w[1]), bits)
+            },
+            || (RateCounter::new(), Last::new()),
+            |(agree, last), (hit, bits)| {
+                agree.record(hit);
+                last.record(bits);
+            },
+        );
         behaviour.row(vec![
             n.to_string(),
             m.to_string(),
-            bits.to_string(),
+            bits.get().copied().unwrap_or(0).to_string(),
             agree.total().to_string(),
             fmt_f64(agree.rate()),
             "≥ 0.5".to_string(),

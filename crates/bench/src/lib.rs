@@ -9,11 +9,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
+pub mod exec;
 pub mod experiments;
+pub mod microbench;
 pub mod runner;
 pub mod stats;
 pub mod table;
 
+pub use exec::{map_reduce, Batch, Merge, TrialSpec};
 pub use runner::{default_trials, run_trial, run_trial_with_history, Trial};
-pub use stats::{RateCounter, Summary};
+pub use stats::{Last, Peak, RateCounter, RoundExcess, Summary, Truncations, Welford};
 pub use table::Table;

@@ -1,0 +1,215 @@
+//! A dependency-free micro-benchmark harness with a Criterion-shaped
+//! API.
+//!
+//! The workspace builds fully offline, so the `benches/` targets cannot
+//! link the external `criterion` crate. This module provides the small
+//! slice of its API the benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) backed by a
+//! plain warmup-then-measure wall-clock loop, printing one line per
+//! benchmark. Budgets are tunable with `SIFT_BENCH_MS` (measure window
+//! per benchmark, default 200).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup {
+        BenchGroup {
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark id, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one id.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchGroup {
+    /// Caps the number of measured samples (Criterion compatibility; the
+    /// wall-clock budget usually binds first).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_cap: Option<usize>,
+    samples: u64,
+    elapsed: Duration,
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("SIFT_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    fn new(sample_cap: Option<usize>) -> Self {
+        Self {
+            sample_cap,
+            samples: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Calls `f` repeatedly — a short warmup, then measured iterations
+    /// until the wall-clock budget (or the sample cap) is exhausted.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warmup_until = Instant::now() + measure_budget() / 10;
+        let mut warmups = 0u64;
+        while Instant::now() < warmup_until || warmups < 2 {
+            black_box(f());
+            warmups += 1;
+        }
+        let budget = measure_budget();
+        let cap = self.sample_cap.map_or(u64::MAX, |c| c as u64);
+        let start = Instant::now();
+        let mut samples = 0u64;
+        while samples < cap {
+            black_box(f());
+            samples += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.samples = samples;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples == 0 {
+            println!("{group}/{id:<40} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.samples as f64;
+        println!(
+            "{group}/{id:<40} {:>12}/iter  ({} iters)",
+            format_time(per_iter),
+            self.samples
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the entry point for a
+/// `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($group:path) => {
+        fn main() {
+            $group();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("SIFT_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(10);
+        let mut runs = 0u64;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(runs >= 2);
+        std::env::remove_var("SIFT_BENCH_MS");
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with("s"));
+    }
+}

@@ -1,10 +1,14 @@
 //! Shared trial machinery: build a protocol, run it under a schedule,
 //! collect agreement/step/survivor data.
+//!
+//! Builders are reusable (`Fn`, not `FnOnce`) so one closure can be
+//! shared by every worker of the parallel executor
+//! (see [`exec`](crate::exec)).
 
 use sift_core::{distinct_per_round, Conciliator, Persona, RoundHistory};
 use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::ScheduleKind;
-use sift_sim::{Engine, LayoutBuilder, Metrics, Process, ProcessId};
+use sift_sim::{Engine, LayoutBuilder, Metrics, Process, ProcessId, StopReason};
 
 /// Result of one conciliator trial.
 #[derive(Debug, Clone)]
@@ -15,6 +19,11 @@ pub struct Trial {
     pub distinct_outputs: usize,
     /// Step accounting for the run.
     pub metrics: Metrics,
+    /// Why the engine stopped. Anything but [`StopReason::AllDone`]
+    /// means the run was truncated and `agreed` reflects an incomplete
+    /// execution; aggregations count truncations separately (see
+    /// [`Truncations`](crate::stats::Truncations)).
+    pub stop_reason: StopReason,
     /// Distinct-persona counts per round, when the participant records
     /// history.
     pub survivors: Option<Vec<usize>>,
@@ -22,9 +31,18 @@ pub struct Trial {
 
 /// Default number of trials, overridable with the `SIFT_TRIALS`
 /// environment variable.
+///
+/// # Panics
+///
+/// Panics if `SIFT_TRIALS` is set but does not parse as a positive
+/// integer — a typo'd trial count silently falling back to the default
+/// would invalidate a sweep without any visible signal.
 pub fn default_trials(wanted: usize) -> usize {
     match std::env::var("SIFT_TRIALS") {
-        Ok(v) => v.parse().unwrap_or(wanted),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(t) if t > 0 => t,
+            _ => panic!("SIFT_TRIALS must be a positive integer, got {v:?}"),
+        },
         Err(_) => wanted,
     }
 }
@@ -33,7 +51,7 @@ fn run_generic<C, P>(
     n: usize,
     seed: u64,
     kind: ScheduleKind,
-    build: impl FnOnce(&mut LayoutBuilder) -> C,
+    build: impl Fn(&mut LayoutBuilder) -> C,
     collect_history: bool,
 ) -> Trial
 where
@@ -45,16 +63,19 @@ where
     let layout = builder.build();
     let split = SeedSplitter::new(seed);
     let schedule = kind.build(n, split.seed("schedule", 0));
+    let mut inputs = Vec::with_capacity(n);
     let participants: Vec<P> = (0..n)
         .map(|i| {
             let mut rng = split.stream("process", i as u64);
-            conciliator.participant(ProcessId(i), i as u64, &mut rng)
+            let input = i as u64;
+            inputs.push(input);
+            conciliator.participant(ProcessId(i), input, &mut rng)
         })
         .collect();
     let report = Engine::new(&layout, participants).run(schedule);
-    let survivors = collect_history
-        .then(|| distinct_per_round(report.processes.iter().map(|p| p.history())));
-    summarize(report, survivors)
+    let survivors =
+        collect_history.then(|| distinct_per_round(report.processes.iter().map(|p| p.history())));
+    summarize(report, &inputs, survivors)
 }
 
 /// Runs one trial of a history-recording conciliator, collecting
@@ -63,7 +84,7 @@ pub fn run_trial_with_history<C, P>(
     n: usize,
     seed: u64,
     kind: ScheduleKind,
-    build: impl FnOnce(&mut LayoutBuilder) -> C,
+    build: impl Fn(&mut LayoutBuilder) -> C,
 ) -> Trial
 where
     C: Conciliator<Participant = P>,
@@ -77,7 +98,7 @@ pub fn run_trial<C>(
     n: usize,
     seed: u64,
     kind: ScheduleKind,
-    build: impl FnOnce(&mut LayoutBuilder) -> C,
+    build: impl Fn(&mut LayoutBuilder) -> C,
 ) -> Trial
 where
     C: Conciliator,
@@ -87,26 +108,37 @@ where
     let layout = builder.build();
     let split = SeedSplitter::new(seed);
     let schedule = kind.build(n, split.seed("schedule", 0));
+    let mut inputs = Vec::with_capacity(n);
     let participants: Vec<C::Participant> = (0..n)
         .map(|i| {
             let mut rng = split.stream("process", i as u64);
-            conciliator.participant(ProcessId(i), i as u64, &mut rng)
+            let input = i as u64;
+            inputs.push(input);
+            conciliator.participant(ProcessId(i), input, &mut rng)
         })
         .collect();
     let report = Engine::new(&layout, participants).run(schedule);
-    summarize(report, None)
+    summarize(report, &inputs, None)
 }
 
-fn summarize<P>(report: sift_sim::RunReport<P>, survivors: Option<Vec<usize>>) -> Trial
+/// Checks validity against the inputs the participants were actually
+/// constructed with (not an assumed `0..n` range) and folds the run
+/// report into a [`Trial`].
+fn summarize<P>(
+    report: sift_sim::RunReport<P>,
+    inputs: &[u64],
+    survivors: Option<Vec<usize>>,
+) -> Trial
 where
     P: Process<Value = Persona, Output = Persona>,
 {
     use std::collections::HashSet;
+    let allowed: HashSet<u64> = inputs.iter().copied().collect();
     let outputs: Vec<&Persona> = report.outputs.iter().flatten().collect();
     for p in &outputs {
         assert!(
-            p.input() < report.outputs.len() as u64,
-            "validity violated: output {} not an input",
+            allowed.contains(&p.input()),
+            "validity violated: output {} was not any participant's input",
             p.input()
         );
     }
@@ -115,6 +147,7 @@ where
         agreed: distinct.len() <= 1 && outputs.len() == report.outputs.len(),
         distinct_outputs: distinct.len(),
         metrics: report.metrics,
+        stop_reason: report.stop_reason,
         survivors,
     }
 }
@@ -132,6 +165,7 @@ mod tests {
         assert!(t.metrics.total_steps > 0);
         assert!(t.distinct_outputs >= 1);
         assert!(t.survivors.is_none());
+        assert_eq!(t.stop_reason, StopReason::AllDone);
     }
 
     #[test]
@@ -151,6 +185,14 @@ mod tests {
             CilConciliator::allocate(b, 6)
         });
         assert!(t.metrics.total_steps > 0);
+    }
+
+    #[test]
+    fn builders_are_reusable() {
+        let build = |b: &mut LayoutBuilder| SiftingConciliator::allocate(b, 4, Epsilon::HALF);
+        let a = run_trial(4, 1, ScheduleKind::RoundRobin, build);
+        let b = run_trial(4, 1, ScheduleKind::RoundRobin, build);
+        assert_eq!(a.metrics.total_steps, b.metrics.total_steps);
     }
 
     #[test]

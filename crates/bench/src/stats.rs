@@ -1,4 +1,13 @@
-//! Small statistics helpers for experiment aggregation.
+//! Streaming, mergeable statistics for experiment aggregation.
+//!
+//! Workers of the parallel executor fold trial results into chunk-local
+//! accumulators which are merged at the barrier (see
+//! [`Merge`](crate::exec::Merge)), so sweeps never materialize a full
+//! `Vec<f64>` of samples. [`Welford`] is the workhorse; [`Summary`] is
+//! its frozen, printable form.
+
+use crate::exec::Merge;
+use sift_sim::StopReason;
 
 /// Summary statistics of a sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,41 +27,142 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes `samples`.
+    /// Summarizes `samples` (single streaming pass).
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn of(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "cannot summarize an empty sample");
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        let var = if count > 1 {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
-        } else {
-            0.0
-        };
-        let std_dev = var.sqrt();
-        let ci95 = 1.96 * std_dev / (count as f64).sqrt();
-        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut w = Welford::new();
         for &x in samples {
-            min = min.min(x);
-            max = max.max(x);
+            w.push(x);
         }
-        Self {
-            count,
-            mean,
-            std_dev,
-            ci95,
-            min,
-            max,
-        }
+        w.summary()
     }
 
     /// Summarizes an iterator of integer samples.
     pub fn of_counts(samples: impl IntoIterator<Item = u64>) -> Self {
-        let v: Vec<f64> = samples.into_iter().map(|x| x as f64).collect();
-        Self::of(&v)
+        let mut w = Welford::new();
+        for x in samples {
+            w.push(x as f64);
+        }
+        w.summary()
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm) with an
+/// exact parallel merge (Chan et al.).
+///
+/// # Examples
+///
+/// ```
+/// use sift_bench::exec::Merge;
+/// use sift_bench::stats::Welford;
+///
+/// let mut a = Welford::new();
+/// let mut b = Welford::new();
+/// a.push(1.0);
+/// a.push(2.0);
+/// b.push(3.0);
+/// b.push(4.0);
+/// a.merge(b);
+/// let s = a.summary();
+/// assert_eq!(s.count, 4);
+/// assert!((s.mean - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Absorbs one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples absorbed so far.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// The running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Freezes the accumulator into a [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were absorbed (matches the historical
+    /// "cannot summarize an empty sample" contract).
+    pub fn summary(&self) -> Summary {
+        assert!(self.count > 0, "cannot summarize an empty sample");
+        let var = if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        Summary {
+            count: self.count as usize,
+            mean: self.mean,
+            std_dev,
+            ci95: 1.96 * std_dev / (self.count as f64).sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Merge for Welford {
+    fn merge(&mut self, other: Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -92,6 +202,171 @@ impl RateCounter {
         } else {
             self.hits as f64 / self.total as f64
         }
+    }
+}
+
+impl Merge for RateCounter {
+    fn merge(&mut self, other: Self) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+/// Running maximum of integer samples (e.g. worst observed steps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Peak(u64);
+
+impl Peak {
+    /// Creates a zeroed peak tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one sample.
+    pub fn record(&mut self, x: u64) {
+        self.0 = self.0.max(x);
+    }
+
+    /// The maximum sample seen (0 when empty).
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Merge for Peak {
+    fn merge(&mut self, other: Self) {
+        self.0 = self.0.max(other.0);
+    }
+}
+
+/// Keeps the value recorded by the highest-indexed trial (chunk merges
+/// preserve trial order, so "last wins" is deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Last<T>(Option<T>);
+
+impl<T> Last<T> {
+    /// Creates an empty holder.
+    pub fn new() -> Self {
+        Self(None)
+    }
+
+    /// Records a value, replacing any earlier one.
+    pub fn record(&mut self, value: T) {
+        self.0 = Some(value);
+    }
+
+    /// The last recorded value, if any.
+    pub fn get(&self) -> Option<&T> {
+        self.0.as_ref()
+    }
+}
+
+impl<T> Merge for Last<T> {
+    fn merge(&mut self, other: Self) {
+        if other.0.is_some() {
+            self.0 = other.0;
+        }
+    }
+}
+
+/// Per-round sums of excess personae (`survivors - 1`), the aggregation
+/// behind the survivor-decay experiments (E1/E4/E5).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundExcess {
+    sums: Vec<f64>,
+    trials: u64,
+}
+
+impl RoundExcess {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one trial's per-round survivor counts.
+    pub fn record(&mut self, survivors: &[usize]) {
+        if self.sums.len() < survivors.len() {
+            self.sums.resize(survivors.len(), 0.0);
+        }
+        for (sum, &s) in self.sums.iter_mut().zip(survivors) {
+            *sum += s.saturating_sub(1) as f64;
+        }
+        self.trials += 1;
+    }
+
+    /// Mean excess per round over all absorbed trials.
+    pub fn means(&self) -> Vec<f64> {
+        self.sums.iter().map(|s| s / self.trials as f64).collect()
+    }
+
+    /// Number of trials absorbed.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+impl Merge for RoundExcess {
+    fn merge(&mut self, other: Self) {
+        if self.sums.len() < other.sums.len() {
+            self.sums.resize(other.sums.len(), 0.0);
+        }
+        for (sum, o) in self.sums.iter_mut().zip(&other.sums) {
+            *sum += o;
+        }
+        self.trials += other.trials;
+    }
+}
+
+/// Counts runs that ended without every process deciding, by
+/// [`StopReason`] — reported separately instead of being silently
+/// folded into "disagreed".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Truncations {
+    /// Runs stopped because the (finite) schedule ran out of slots.
+    pub schedule_exhausted: u64,
+    /// Runs stopped by an explicit slot limit.
+    pub slot_limit: u64,
+}
+
+impl Truncations {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one run's stop reason.
+    pub fn record(&mut self, reason: StopReason) {
+        match reason {
+            StopReason::AllDone => {}
+            StopReason::ScheduleExhausted => self.schedule_exhausted += 1,
+            StopReason::SlotLimit => self.slot_limit += 1,
+        }
+    }
+
+    /// Total truncated runs.
+    pub fn total(&self) -> u64 {
+        self.schedule_exhausted + self.slot_limit
+    }
+
+    /// A table footnote describing the truncations, or `None` when every
+    /// run completed (the common case — tables stay unchanged).
+    pub fn note(&self) -> Option<String> {
+        (self.total() > 0).then(|| {
+            format!(
+                "{} truncated run(s) not counted as disagreement: \
+                 {} schedule-exhausted, {} slot-limited.",
+                self.total(),
+                self.schedule_exhausted,
+                self.slot_limit
+            )
+        })
+    }
+}
+
+impl Merge for Truncations {
+    fn merge(&mut self, other: Self) {
+        self.schedule_exhausted += other.schedule_exhausted;
+        self.slot_limit += other.slot_limit;
     }
 }
 
@@ -139,6 +414,45 @@ mod tests {
     }
 
     #[test]
+    fn welford_merge_matches_serial_fold() {
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut serial = Welford::new();
+        for &x in &samples {
+            serial.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &samples[..37] {
+            left.push(x);
+        }
+        for &x in &samples[37..] {
+            right.push(x);
+        }
+        left.merge(right);
+        let (a, b) = (serial.summary(), left.summary());
+        assert_eq!(a.count, b.count);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.std_dev - b.std_dev).abs() < 1e-12);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_sides() {
+        let mut w = Welford::new();
+        w.merge(Welford::new());
+        assert_eq!(w.count(), 0);
+        let mut filled = Welford::new();
+        filled.push(5.0);
+        w.merge(filled);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 5.0);
+        let mut other = Welford::new();
+        other.merge(w);
+        assert_eq!(other.count(), 1);
+    }
+
+    #[test]
     fn rate_counter() {
         let mut r = RateCounter::new();
         assert_eq!(r.rate(), 0.0);
@@ -149,5 +463,69 @@ mod tests {
         assert_eq!(r.hits(), 3);
         assert_eq!(r.total(), 4);
         assert!((r.rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_counter_merges_by_sum() {
+        let mut a = RateCounter::new();
+        a.record(true);
+        let mut b = RateCounter::new();
+        b.record(false);
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut p = Peak::new();
+        p.record(3);
+        p.record(9);
+        p.record(5);
+        let mut q = Peak::new();
+        q.record(7);
+        p.merge(q);
+        assert_eq!(p.get(), 9);
+    }
+
+    #[test]
+    fn last_keeps_later_side() {
+        let mut a = Last::new();
+        a.record(1);
+        let mut b = Last::new();
+        b.record(2);
+        a.merge(b);
+        assert_eq!(a.get(), Some(&2));
+        a.merge(Last::<i32>::new());
+        assert_eq!(a.get(), Some(&2));
+    }
+
+    #[test]
+    fn round_excess_means_and_merge() {
+        let mut a = RoundExcess::new();
+        a.record(&[4, 2, 1]);
+        let mut b = RoundExcess::new();
+        b.record(&[2, 1]);
+        a.merge(b);
+        assert_eq!(a.trials(), 2);
+        let means = a.means();
+        // Round 1: (3 + 1)/2 = 2; round 2: (1 + 0)/2 = 0.5; round 3: 0/2.
+        assert_eq!(means, vec![2.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn truncations_note_only_when_present() {
+        let mut t = Truncations::new();
+        t.record(StopReason::AllDone);
+        assert_eq!(t.note(), None);
+        t.record(StopReason::ScheduleExhausted);
+        t.record(StopReason::SlotLimit);
+        let mut other = Truncations::new();
+        other.record(StopReason::SlotLimit);
+        t.merge(other);
+        assert_eq!(t.total(), 3);
+        assert!(t.note().unwrap().contains("1 schedule-exhausted"));
+        assert!(t.note().unwrap().contains("2 slot-limited"));
     }
 }

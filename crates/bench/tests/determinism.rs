@@ -1,0 +1,79 @@
+//! Cross-thread-count determinism: every aggregate the experiment
+//! harness reports — means, confidence intervals, rate counters,
+//! per-round survivor vectors — must be **bit-identical** for any
+//! `SIFT_THREADS`, because chunk boundaries and per-trial seeds depend
+//! only on the trial count and master seed.
+
+use sift_bench::exec::{self, Batch};
+use sift_bench::stats::{RateCounter, RoundExcess, Welford};
+use sift_core::{Epsilon, SiftingConciliator};
+use sift_sim::schedule::ScheduleKind;
+
+/// Everything folded out of one sweep, frozen to raw bits.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    mean_bits: u64,
+    ci95_bits: u64,
+    std_dev_bits: u64,
+    min_bits: u64,
+    max_bits: u64,
+    count: usize,
+    rate: RateCounter,
+    survivor_mean_bits: Vec<u64>,
+}
+
+fn sweep(threads: usize, master_seed: u64) -> Fingerprint {
+    exec::set_threads(threads);
+    let n = 32;
+    let (steps, rate, excess) = Batch::new(n, 96, ScheduleKind::RandomInterleave)
+        .with_master_seed(master_seed)
+        .run_with_history(
+            |b| SiftingConciliator::allocate(b, n, Epsilon::HALF),
+            || (Welford::new(), RateCounter::new(), RoundExcess::new()),
+            |(steps, rate, excess), t| {
+                steps.push(t.metrics.total_steps as f64);
+                rate.record(t.agreed);
+                excess.record(&t.survivors.expect("history collected"));
+            },
+        );
+    exec::set_threads(0);
+    let s = steps.summary();
+    Fingerprint {
+        mean_bits: s.mean.to_bits(),
+        ci95_bits: s.ci95.to_bits(),
+        std_dev_bits: s.std_dev.to_bits(),
+        min_bits: s.min.to_bits(),
+        max_bits: s.max.to_bits(),
+        count: s.count,
+        rate,
+        survivor_mean_bits: excess.means().iter().map(|m| m.to_bits()).collect(),
+    }
+}
+
+/// Serializes the tests: `set_threads` is a process-wide override.
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn aggregates_are_bit_identical_for_1_2_and_8_threads() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = sweep(1, 0);
+    assert_eq!(serial.count, 96);
+    assert!(!serial.survivor_mean_bits.is_empty());
+    for threads in [2, 8] {
+        let parallel = sweep(threads, 0);
+        assert_eq!(
+            serial, parallel,
+            "thread count {threads} changed the aggregates"
+        );
+    }
+}
+
+#[test]
+fn nonzero_master_seed_is_also_thread_invariant() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = sweep(1, 0xC0FFEE);
+    let parallel = sweep(8, 0xC0FFEE);
+    assert_eq!(serial, parallel);
+    // And a different master seed really does change the trials.
+    assert_ne!(serial, sweep(1, 0));
+}

@@ -210,9 +210,15 @@ enum Stage<C: Conciliator, A: AdoptCommit<Persona>> {
     /// About to mint the next phase's conciliator participant.
     StartPhase,
     /// Driving the conciliator.
-    Conciliate { sub: C::Participant, started: bool },
+    Conciliate {
+        sub: C::Participant,
+        started: bool,
+    },
     /// Driving the adopt-commit proposer.
-    Propose { sub: A::Proposer, started: bool },
+    Propose {
+        sub: A::Proposer,
+        started: bool,
+    },
     Finished,
 }
 
@@ -298,8 +304,7 @@ impl<C: Conciliator, A: AdoptCommit<Persona>> Process for ConsensusParticipant<C
                         }
                         Step::Done(persona) => {
                             let (_, ac) = &self.shared.phases[self.phase_index];
-                            let proposer =
-                                ac.proposer(self.pid, persona.input(), persona.clone());
+                            let proposer = ac.proposer(self.pid, persona.input(), persona.clone());
                             self.stage = Stage::Propose {
                                 sub: proposer,
                                 started: false,
@@ -409,8 +414,7 @@ mod tests {
                     protocol.participant(ProcessId(i), inputs[i], &mut rng)
                 })
                 .collect();
-            let report =
-                Engine::new(&layout, procs).run(RandomInterleave::new(n, seed + 100));
+            let report = Engine::new(&layout, procs).run(RandomInterleave::new(n, seed + 100));
             let outcomes = report.unwrap_outputs();
             check_consensus(&inputs, outcomes.iter());
         }
@@ -450,8 +454,7 @@ mod tests {
                     protocol.participant(ProcessId(i), i as u64, &mut rng)
                 })
                 .collect();
-            let report =
-                Engine::new(&layout, procs).run(RandomInterleave::new(n, seed + 7));
+            let report = Engine::new(&layout, procs).run(RandomInterleave::new(n, seed + 7));
             total_phases += report
                 .unwrap_outputs()
                 .into_iter()
@@ -486,8 +489,7 @@ mod tests {
                     protocol.participant(ProcessId(i), inputs[i], &mut rng)
                 })
                 .collect();
-            let report =
-                Engine::new(&layout, procs).run(RandomInterleave::new(n, seed + 900));
+            let report = Engine::new(&layout, procs).run(RandomInterleave::new(n, seed + 900));
             let outcomes = report.unwrap_outputs();
             check_consensus(&inputs, outcomes.iter());
         }
@@ -563,12 +565,7 @@ mod tests {
             n,
             1,
             |b| {
-                SiftingConciliator::with_probabilities(
-                    b,
-                    n,
-                    vec![1.0; 4],
-                    sift_core::Epsilon::HALF,
-                )
+                SiftingConciliator::with_probabilities(b, n, vec![1.0; 4], sift_core::Epsilon::HALF)
             },
             |b| sift_adopt_commit::FlagsAc::allocate(b, 8),
         );
@@ -580,8 +577,8 @@ mod tests {
                 protocol.participant(sift_sim::ProcessId(i), i as u64, &mut rng)
             })
             .collect();
-        let report = sift_sim::Engine::new(&layout, procs)
-            .run(sift_sim::schedule::RoundRobin::new(n));
+        let report =
+            sift_sim::Engine::new(&layout, procs).run(sift_sim::schedule::RoundRobin::new(n));
         let outcomes = report.unwrap_outputs();
         // With all-write sifting, everyone keeps its own persona:
         // mixed inputs cannot commit, so at least one process reports
@@ -590,7 +587,10 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, ConsensusOutcome::Exhausted { .. }))
             .count();
-        assert!(exhausted > 0, "expected exhaustion with 1 phase: {outcomes:?}");
+        assert!(
+            exhausted > 0,
+            "expected exhaustion with 1 phase: {outcomes:?}"
+        );
         for o in &outcomes {
             if let ConsensusOutcome::Exhausted { last_preference } = o {
                 assert!(*last_preference < n as u64, "preference stays valid");

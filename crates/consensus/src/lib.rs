@@ -28,13 +28,13 @@ pub mod framework;
 pub mod log;
 pub mod protocols;
 
-pub use log::{LogParticipant, ReplicatedLog};
 pub use framework::{
     check_consensus, ConsensusOutcome, ConsensusParticipant, ConsensusProtocol, Decision,
     DEFAULT_MAX_PHASES,
 };
+pub use log::{LogParticipant, ReplicatedLog};
 pub use protocols::{
     cil_consensus, linear_work_consensus, max_register_consensus, sifting_consensus,
-    snapshot_consensus, CilConsensus, LinearWorkConsensus, MaxRegisterConsensus,
-    SiftingConsensus, SnapshotConsensus,
+    snapshot_consensus, CilConsensus, LinearWorkConsensus, MaxRegisterConsensus, SiftingConsensus,
+    SnapshotConsensus,
 };

@@ -94,7 +94,13 @@ where
         assert!(slots > 0, "need at least one log slot");
         let slots = (0..slots)
             .map(|_| {
-                ConsensusProtocol::allocate(builder, n, max_phases, &mut conciliator, &mut adopt_commit)
+                ConsensusProtocol::allocate(
+                    builder,
+                    n,
+                    max_phases,
+                    &mut conciliator,
+                    &mut adopt_commit,
+                )
             })
             .collect();
         Self {
@@ -179,8 +185,7 @@ impl<C: Conciliator, A: AdoptCommit<Persona>> LogParticipant<C, A> {
             return;
         }
         let proposal = self.proposal();
-        self.current =
-            Some(self.shared.slots[slot].participant(self.pid, proposal, &mut self.rng));
+        self.current = Some(self.shared.slots[slot].participant(self.pid, proposal, &mut self.rng));
         self.started = false;
     }
 
@@ -283,11 +288,7 @@ mod tests {
         for seed in 0..15 {
             let logs = run_log(4, 6, seed);
             for p in 0u64..4 {
-                let mine: Vec<u64> = logs[0]
-                    .iter()
-                    .copied()
-                    .filter(|&e| e / 10 == p)
-                    .collect();
+                let mine: Vec<u64> = logs[0].iter().copied().filter(|&e| e / 10 == p).collect();
                 let mut deduped = mine.clone();
                 deduped.dedup();
                 assert!(

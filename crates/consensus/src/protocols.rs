@@ -2,8 +2,8 @@
 
 use sift_adopt_commit::{DigitAc, GafniRegisterAc, GafniSnapshotAc};
 use sift_core::{
-    CilConciliator, EmbeddedConciliator, Epsilon, MaxConciliator, Persona,
-    SiftingConciliator, SnapshotConciliator,
+    CilConciliator, EmbeddedConciliator, Epsilon, MaxConciliator, Persona, SiftingConciliator,
+    SnapshotConciliator,
 };
 use sift_sim::LayoutBuilder;
 

@@ -6,9 +6,7 @@
 //! values should sit at or below them, with Markov-level slack for tail
 //! probabilities.
 
-use crate::math::{
-    ceil_log2, ceil_log_4_3, ceil_log_log, lemma1_f_iter, log_star, sifting_x,
-};
+use crate::math::{ceil_log2, ceil_log_4_3, ceil_log_log, lemma1_f_iter, log_star, sifting_x};
 use crate::params::Epsilon;
 
 /// Theorem 1: round count `R = log* n + ⌈log(1/ε)⌉ + 1` of Algorithm 1.

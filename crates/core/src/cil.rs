@@ -178,11 +178,7 @@ mod tests {
     use sift_sim::schedule::{BlockSequential, RandomInterleave, RoundRobin, Schedule};
     use sift_sim::Engine;
 
-    fn run(
-        n: usize,
-        seed: u64,
-        schedule: impl Schedule,
-    ) -> sift_sim::RunReport<CilParticipant> {
+    fn run(n: usize, seed: u64, schedule: impl Schedule) -> sift_sim::RunReport<CilParticipant> {
         let mut b = LayoutBuilder::new();
         let c = CilConciliator::allocate(&mut b, n);
         let layout = b.build();

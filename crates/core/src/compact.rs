@@ -172,7 +172,13 @@ impl CompactSiftingConciliator {
         );
         let aggressive = ceil_log_log(n as u64);
         let probs: Vec<f64> = (1..=width.rounds)
-            .map(|i| if i <= aggressive { sifting_p(n as u64, i) } else { 0.5 })
+            .map(|i| {
+                if i <= aggressive {
+                    sifting_p(n as u64, i)
+                } else {
+                    0.5
+                }
+            })
             .collect();
         let registers = builder.registers(probs.len());
         Self {

@@ -211,7 +211,9 @@ enum Phase {
     /// Waiting for the result of one inner-conciliator operation.
     AwaitInner,
     /// Waiting for the ack of the `output[side]` write.
-    AwaitOutputWrite { side: usize },
+    AwaitOutputWrite {
+        side: usize,
+    },
     /// Driving the binary adopt-commit proposer.
     Combine {
         ac: Box<FlagsProposer<Persona>>,
@@ -311,13 +313,21 @@ impl Process for EmbeddedParticipant {
                 self.step(None)
             }
             Phase::Combine { mut ac, started } => {
-                let step = if started { ac.step(prev) } else { ac.step(None) };
+                let step = if started {
+                    ac.step(prev)
+                } else {
+                    ac.step(None)
+                };
                 match step {
                     Step::Issue(op) => {
                         self.phase = Phase::Combine { ac, started: true };
                         Step::Issue(op)
                     }
-                    Step::Done(AcOutput { verdict, code, value }) => {
+                    Step::Done(AcOutput {
+                        verdict,
+                        code,
+                        value,
+                    }) => {
                         let target = match verdict {
                             Verdict::Commit => code as usize,
                             Verdict::Adopt => usize::from(value.coin()),

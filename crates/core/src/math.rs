@@ -34,7 +34,10 @@ pub fn log_star(n: u64) -> u32 {
 ///
 /// Panics if `x` is not positive and finite.
 pub fn ceil_log2(x: f64) -> u32 {
-    assert!(x.is_finite() && x > 0.0, "ceil_log2 needs a positive finite input");
+    assert!(
+        x.is_finite() && x > 0.0,
+        "ceil_log2 needs a positive finite input"
+    );
     let l = x.log2();
     let c = l.ceil();
     // Guard against representation error for exact powers of two.
@@ -79,7 +82,10 @@ pub fn ceil_log_log(n: u64) -> u32 {
 ///
 /// Panics if `x` is not positive and finite.
 pub fn ceil_log_4_3(x: f64) -> u32 {
-    assert!(x.is_finite() && x > 0.0, "ceil_log_4_3 needs a positive finite input");
+    assert!(
+        x.is_finite() && x > 0.0,
+        "ceil_log_4_3 needs a positive finite input"
+    );
     if x <= 1.0 {
         return 0;
     }

@@ -201,11 +201,7 @@ mod tests {
     use sift_sim::schedule::{RandomInterleave, RoundRobin, Schedule};
     use sift_sim::Engine;
 
-    fn run(
-        n: usize,
-        seed: u64,
-        schedule: impl Schedule,
-    ) -> sift_sim::RunReport<MaxParticipant> {
+    fn run(n: usize, seed: u64, schedule: impl Schedule) -> sift_sim::RunReport<MaxParticipant> {
         let mut b = LayoutBuilder::new();
         let c = MaxConciliator::allocate(&mut b, n, Epsilon::HALF);
         let layout = b.build();

@@ -70,7 +70,13 @@ impl SiftingConciliator {
         let aggressive = ceil_log_log(n as u64);
         let tail = ceil_log_4_3(8.0 * epsilon.inverse()).max(1);
         let probs: Vec<f64> = (1..=aggressive + tail)
-            .map(|i| if i <= aggressive { sifting_p(n as u64, i) } else { 0.5 })
+            .map(|i| {
+                if i <= aggressive {
+                    sifting_p(n as u64, i)
+                } else {
+                    0.5
+                }
+            })
             .collect();
         Self::with_probabilities(builder, n, probs, epsilon)
     }
@@ -341,7 +347,12 @@ mod tests {
         let trials = 200;
         let mut disagreements = 0;
         for seed in 0..trials {
-            let report = run(16, Epsilon::HALF, seed, RandomInterleave::new(16, seed + 400));
+            let report = run(
+                16,
+                Epsilon::HALF,
+                seed,
+                RandomInterleave::new(16, seed + 400),
+            );
             if !report.outputs_agree() {
                 disagreements += 1;
             }
@@ -397,12 +408,7 @@ mod tests {
     #[test]
     fn custom_probabilities_are_validated() {
         let mut b = LayoutBuilder::new();
-        let c = SiftingConciliator::with_probabilities(
-            &mut b,
-            4,
-            vec![0.5, 0.25],
-            Epsilon::HALF,
-        );
+        let c = SiftingConciliator::with_probabilities(&mut b, 4, vec![0.5, 0.25], Epsilon::HALF);
         assert_eq!(c.rounds(), 2);
     }
 

@@ -207,24 +207,22 @@ impl Process for SnapshotParticipant {
                     self.persona.clone(),
                 ))
             }
-            Phase::Scan => {
-                match prev.expect("resumed with update ack or scan view") {
-                    OpResult::Ack => Step::Issue(Op::SnapshotScan(self.shared.arrays[self.round])),
-                    OpResult::SnapshotView(view) => {
-                        self.adopt_best(&view);
-                        self.history.push(self.persona.origin());
-                        self.round += 1;
-                        if self.round == self.shared.rounds {
-                            self.phase = Phase::Finished;
-                            Step::Done(self.persona.clone())
-                        } else {
-                            self.phase = Phase::Update;
-                            self.step(None)
-                        }
+            Phase::Scan => match prev.expect("resumed with update ack or scan view") {
+                OpResult::Ack => Step::Issue(Op::SnapshotScan(self.shared.arrays[self.round])),
+                OpResult::SnapshotView(view) => {
+                    self.adopt_best(&view);
+                    self.history.push(self.persona.origin());
+                    self.round += 1;
+                    if self.round == self.shared.rounds {
+                        self.phase = Phase::Finished;
+                        Step::Done(self.persona.clone())
+                    } else {
+                        self.phase = Phase::Update;
+                        self.step(None)
                     }
-                    other => panic!("unexpected result {other:?}"),
                 }
-            }
+                other => panic!("unexpected result {other:?}"),
+            },
             Phase::Finished => panic!("participant stepped after completion"),
         }
     }
@@ -240,8 +238,8 @@ impl RoundHistory for SnapshotParticipant {
 mod tests {
     use super::*;
     use crate::conciliator::distinct_per_round;
-    use sift_sim::schedule::{BlockSequential, RandomInterleave, RoundRobin, Schedule};
     use sift_sim::rng::SeedSplitter;
+    use sift_sim::schedule::{BlockSequential, RandomInterleave, RoundRobin, Schedule};
     use sift_sim::Engine;
 
     fn run(
@@ -284,9 +282,18 @@ mod tests {
     #[test]
     fn validity_holds_in_all_runs() {
         for seed in 0..20 {
-            let report = run(6, Epsilon::HALF, seed, RandomInterleave::new(6, seed + 1000));
+            let report = run(
+                6,
+                Epsilon::HALF,
+                seed,
+                RandomInterleave::new(6, seed + 1000),
+            );
             for p in report.unwrap_outputs() {
-                assert!((100..106).contains(&p.input()), "invented value {}", p.input());
+                assert!(
+                    (100..106).contains(&p.input()),
+                    "invented value {}",
+                    p.input()
+                );
             }
         }
     }
@@ -307,7 +314,12 @@ mod tests {
         let trials = 200;
         let mut disagreements = 0;
         for seed in 0..trials {
-            let report = run(8, Epsilon::HALF, seed, RandomInterleave::new(8, seed + 5000));
+            let report = run(
+                8,
+                Epsilon::HALF,
+                seed,
+                RandomInterleave::new(8, seed + 5000),
+            );
             if !report.outputs_agree() {
                 disagreements += 1;
             }
@@ -322,13 +334,9 @@ mod tests {
     fn survivor_counts_never_increase() {
         for seed in 0..10 {
             let report = run(16, Epsilon::HALF, seed, RandomInterleave::new(16, seed));
-            let counts =
-                distinct_per_round(report.processes.iter().map(|p| p.history()));
+            let counts = distinct_per_round(report.processes.iter().map(|p| p.history()));
             for w in counts.windows(2) {
-                assert!(
-                    w[1] <= w[0],
-                    "seed {seed}: survivors increased {counts:?}"
-                );
+                assert!(w[1] <= w[0], "seed {seed}: survivors increased {counts:?}");
             }
             assert_eq!(counts.len(), report.processes[0].shared.rounds);
         }

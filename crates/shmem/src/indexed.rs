@@ -202,12 +202,7 @@ mod tests {
         let personae: Vec<Persona> = (0..n)
             .map(|i| {
                 let mut rng = split.stream("process", i as u64);
-                Persona::generate(
-                    ProcessId(i),
-                    i as u64,
-                    &c.persona_spec(),
-                    &mut rng,
-                )
+                Persona::generate(ProcessId(i), i as u64, &c.persona_spec(), &mut rng)
             })
             .collect();
         let procs: Vec<_> = personae

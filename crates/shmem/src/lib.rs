@@ -38,6 +38,7 @@ pub mod persona_table;
 pub mod register;
 pub mod runtime;
 pub mod snapshot;
+pub mod sync;
 
 pub use indexed::{run_threads_lock_free, IndexedMemory};
 pub use memory::AtomicMemory;

@@ -1,6 +1,6 @@
 //! Mutex-based max register.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use sift_sim::Value;
 

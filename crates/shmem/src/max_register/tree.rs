@@ -15,7 +15,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use sift_sim::Value;
 
@@ -110,10 +110,7 @@ impl<V: Value> TreeMaxRegister<V> {
             key = (key << 1) | u64::from(bit);
             node = 2 * node + usize::from(bit);
         }
-        self.leaves[key as usize]
-            .lock()
-            .clone()
-            .map(|v| (key, v))
+        self.leaves[key as usize].lock().clone().map(|v| (key, v))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Linearizable multi-writer multi-reader registers for real threads.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use sift_sim::Value;
 

@@ -234,9 +234,7 @@ mod tests {
             let layout = b.build();
             let split = SeedSplitter::new(seed);
             let procs: Vec<_> = (0..n)
-                .map(|i| {
-                    tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
-                })
+                .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
                 .collect();
             let report = run_threads(&layout, procs);
             let outputs: Vec<_> = report.outputs.into_iter().map(Some).collect();

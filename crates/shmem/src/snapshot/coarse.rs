@@ -1,6 +1,6 @@
 //! Lock-based linearizable snapshot.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use sift_sim::{ScanView, Value};
 

@@ -92,10 +92,7 @@ impl<V: Value> WaitFreeSnapshot<V> {
     /// Panics if `component` is out of range.
     pub fn update(&self, component: usize, value: V) {
         let view = self.scan();
-        let seq = self.registers[component]
-            .read()
-            .map(|e| e.seq)
-            .unwrap_or(0);
+        let seq = self.registers[component].read().map(|e| e.seq).unwrap_or(0);
         self.registers[component].write(Entry {
             value: Some(value),
             seq: seq + 1,
@@ -116,9 +113,7 @@ impl<V: Value> WaitFreeSnapshot<V> {
                 .all(|(a, b)| a.seq == b.seq)
             {
                 // Clean double collect.
-                return ScanView::from_components(
-                    current.into_iter().map(|e| e.value).collect(),
-                );
+                return ScanView::from_components(current.into_iter().map(|e| e.value).collect());
             }
             for (j, (a, b)) in previous.iter().zip(current.iter()).enumerate() {
                 if a.seq != b.seq {

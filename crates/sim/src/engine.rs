@@ -27,7 +27,6 @@ use crate::trace::{Trace, TraceEvent};
 
 /// Why a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StopReason {
     /// Every process in the schedule's support finished.
     AllDone,
@@ -38,8 +37,14 @@ pub enum StopReason {
 }
 
 enum Slot<P: Process> {
-    Running { proc: P, pending: Option<Op<P::Value>> },
-    Done { proc: P, output: P::Output },
+    Running {
+        proc: P,
+        pending: Option<Op<P::Value>>,
+    },
+    Done {
+        proc: P,
+        output: P::Output,
+    },
     /// Transient state while a slot is being advanced.
     Vacant,
 }
@@ -139,9 +144,10 @@ impl<P: Process> Engine<P> {
     fn advance(&mut self, pid: ProcessId, schedule: &mut impl Schedule) -> bool {
         let slot = &mut self.slots[pid.index()];
         let (mut proc, op) = match std::mem::replace(slot, Slot::Vacant) {
-            Slot::Running { proc, pending } => {
-                (proc, pending.expect("running process always has a pending op"))
-            }
+            Slot::Running { proc, pending } => (
+                proc,
+                pending.expect("running process always has a pending op"),
+            ),
             done @ Slot::Done { .. } => {
                 *slot = done;
                 self.metrics.record_skip();
@@ -459,8 +465,7 @@ mod tests {
         let (layout, r) = one_register();
         let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
         // p0 runs solo first: sees its own write.
-        let report =
-            Engine::new(&layout, procs).run(FixedSchedule::from_indices([0, 0, 1, 1]));
+        let report = Engine::new(&layout, procs).run(FixedSchedule::from_indices([0, 0, 1, 1]));
         assert_eq!(report.outputs, vec![Some(1), Some(2)]);
         assert!(!report.outputs_agree());
     }
@@ -533,8 +538,7 @@ mod tests {
     #[test]
     fn unwrap_outputs_returns_all() {
         let (layout, r) = one_register();
-        let report =
-            Engine::new(&layout, vec![WriteRead::new(r, 9)]).run(RoundRobin::new(1));
+        let report = Engine::new(&layout, vec![WriteRead::new(r, 9)]).run(RoundRobin::new(1));
         assert_eq!(report.unwrap_outputs(), vec![9]);
     }
 
@@ -542,9 +546,8 @@ mod tests {
     fn adaptive_run_with_lowest_id_chooser_matches_blocks() {
         let (layout, r) = one_register();
         let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
-        let report = Engine::new(&layout, procs).run_adaptive(|view| {
-            view.live.iter().map(|(pid, _, _)| *pid).min().unwrap()
-        });
+        let report = Engine::new(&layout, procs)
+            .run_adaptive(|view| view.live.iter().map(|(pid, _, _)| *pid).min().unwrap());
         // Lowest-live-id scheduling is exactly block-sequential order.
         assert_eq!(report.outputs, vec![Some(1), Some(2)]);
         assert_eq!(report.metrics.total_steps, 4);
@@ -568,7 +571,10 @@ mod tests {
             let _ = view.memory.peek_register(r);
             view.live.iter().map(|(pid, _, _)| *pid).max().unwrap()
         });
-        assert!(saw_write && saw_read, "adversary observes pending operations");
+        assert!(
+            saw_write && saw_read,
+            "adversary observes pending operations"
+        );
         assert!(report.all_decided());
     }
 
@@ -596,8 +602,8 @@ mod tests {
     #[should_panic(expected = "did not finish")]
     fn unwrap_outputs_panics_on_pending() {
         let (layout, r) = one_register();
-        let report = Engine::new(&layout, vec![WriteRead::new(r, 9)])
-            .run(FixedSchedule::from_indices([0]));
+        let report =
+            Engine::new(&layout, vec![WriteRead::new(r, 9)]).run(FixedSchedule::from_indices([0]));
         let _ = report.unwrap_outputs();
     }
 }

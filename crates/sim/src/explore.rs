@@ -29,7 +29,11 @@ pub struct TooManyExecutions {
 
 impl std::fmt::Display for TooManyExecutions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "more than {} executions; shrink the instance", self.limit)
+        write!(
+            f,
+            "more than {} executions; shrink the instance",
+            self.limit
+        )
     }
 }
 
@@ -158,8 +162,7 @@ where
         return Ok(());
     }
     for &i in &live {
-        let (mut memory, mut slots, mut outputs) =
-            (memory.clone(), slots.clone(), outputs.clone());
+        let (mut memory, mut slots, mut outputs) = (memory.clone(), slots.clone(), outputs.clone());
         let ExpSlot::Running { mut proc, pending } =
             std::mem::replace(&mut slots[i], ExpSlot::Done)
         else {
@@ -215,8 +218,18 @@ mod tests {
         // s1 = 2, s2 = 3: C(5, 2) = 10.
         let (layout, r) = layout_one();
         let procs = vec![
-            Steps { reg: r, id: 0, ops: 2, issued: 0 },
-            Steps { reg: r, id: 1, ops: 3, issued: 0 },
+            Steps {
+                reg: r,
+                id: 0,
+                ops: 2,
+                issued: 0,
+            },
+            Steps {
+                reg: r,
+                id: 1,
+                ops: 3,
+                issued: 0,
+            },
         ];
         let total = explore(&layout, procs, 100, &mut |_| {}).unwrap();
         assert_eq!(total, 10);
@@ -227,7 +240,12 @@ mod tests {
         // 2 ops each: 6!/(2!2!2!) = 90.
         let (layout, r) = layout_one();
         let procs: Vec<Steps> = (0..3)
-            .map(|id| Steps { reg: r, id, ops: 2, issued: 0 })
+            .map(|id| Steps {
+                reg: r,
+                id,
+                ops: 2,
+                issued: 0,
+            })
             .collect();
         let total = explore(&layout, procs, 1000, &mut |_| {}).unwrap();
         assert_eq!(total, 90);
@@ -237,8 +255,18 @@ mod tests {
     fn limit_is_enforced() {
         let (layout, r) = layout_one();
         let procs = vec![
-            Steps { reg: r, id: 0, ops: 5, issued: 0 },
-            Steps { reg: r, id: 1, ops: 5, issued: 0 },
+            Steps {
+                reg: r,
+                id: 0,
+                ops: 5,
+                issued: 0,
+            },
+            Steps {
+                reg: r,
+                id: 1,
+                ops: 5,
+                issued: 0,
+            },
         ];
         let err = explore(&layout, procs, 10, &mut |_| {}).unwrap_err();
         assert_eq!(err.limit, 10);
@@ -261,10 +289,14 @@ mod tests {
     #[test]
     fn immediately_done_processes_are_visited_once() {
         let (layout, r) = layout_one();
-        let procs = vec![Steps { reg: r, id: 7, ops: 0, issued: 0 }];
+        let procs = vec![Steps {
+            reg: r,
+            id: 7,
+            ops: 0,
+            issued: 0,
+        }];
         let mut seen = Vec::new();
-        explore(&layout, procs, 10, &mut |outs| seen.push(outs[0]))
-            .unwrap();
+        explore(&layout, procs, 10, &mut |outs| seen.push(outs[0])).unwrap();
         assert_eq!(seen, vec![Some(7)]);
     }
 }

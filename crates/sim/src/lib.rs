@@ -80,3 +80,29 @@ pub use metrics::Metrics;
 pub use op::{Op, OpKind, OpResult, ScanView};
 pub use process::{Process, Step};
 pub use value::Value;
+
+// Compile-time audit that everything a parallel trial executor shares
+// across worker threads (layouts, schedules, metrics, seeds) is
+// thread-safe. A field that loses `Send`/`Sync` (e.g. an `Rc` or a raw
+// pointer) fails the build here, not at a distant use-site.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Layout>();
+    require_send_sync::<LayoutBuilder>();
+    require_send_sync::<Metrics>();
+    require_send_sync::<schedule::ScheduleKind>();
+    require_send_sync::<StopReason>();
+    require_send_sync::<rng::SeedSplitter>();
+    require_send_sync::<CostModel>();
+};
+
+/// Definition-checked proof that a finished run's report can be sent to
+/// the aggregating thread whenever the process type itself can.
+#[allow(dead_code)]
+fn _run_report_is_send<P>(report: RunReport<P>) -> impl Send
+where
+    P: Process + Send,
+    P::Output: Send,
+{
+    report
+}

@@ -61,7 +61,9 @@ impl<V: Value> Memory<V> {
     /// Instantiates memory for `layout` with an explicit cost model.
     pub fn with_cost_model(layout: &Layout, cost_model: CostModel) -> Self {
         Self {
-            registers: (0..layout.register_count()).map(|_| Register::new()).collect(),
+            registers: (0..layout.register_count())
+                .map(|_| Register::new())
+                .collect(),
             snapshots: layout
                 .snapshot_components()
                 .iter()
@@ -90,9 +92,7 @@ impl<V: Value> Memory<V> {
     pub fn execute(&mut self, op: Op<V>) -> OpResult<V> {
         self.ops_executed += 1;
         match op {
-            Op::RegisterRead(id) => {
-                OpResult::RegisterValue(self.register_mut(id).read().cloned())
-            }
+            Op::RegisterRead(id) => OpResult::RegisterValue(self.register_mut(id).read().cloned()),
             Op::RegisterWrite(id, v) => {
                 self.register_mut(id).write(v);
                 OpResult::Ack
@@ -204,8 +204,7 @@ mod tests {
         let mut b = LayoutBuilder::new();
         let r = b.register();
         let s = b.snapshot(16);
-        let mem: Memory<u32> =
-            Memory::with_cost_model(&b.build(), CostModel::RegisterImplemented);
+        let mem: Memory<u32> = Memory::with_cost_model(&b.build(), CostModel::RegisterImplemented);
         assert_eq!(mem.cost(&Op::SnapshotScan(s)), 16);
         assert_eq!(mem.cost(&Op::SnapshotUpdate(s, 0, 1)), 16);
         assert_eq!(mem.cost(&Op::RegisterRead(r)), 1);

@@ -9,7 +9,6 @@ use crate::op::OpKind;
 
 /// Step counts collected by the [`Engine`](crate::engine::Engine).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Metrics {
     /// Cost-weighted steps (equals `total_ops` under the unit-cost
     /// model).
@@ -77,6 +76,33 @@ impl Metrics {
     pub fn ops_of_kind(&self, kind: OpKind) -> u64 {
         self.ops_by_kind[op_kind_index(kind)]
     }
+
+    /// Absorbs the counts of `other` (element-wise sums), so per-trial
+    /// metrics can be aggregated across a parallel sweep without
+    /// materializing every run's report.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.total_steps += other.total_steps;
+        self.total_ops += other.total_ops;
+        self.skipped_slots += other.skipped_slots;
+        if self.per_process_steps.len() < other.per_process_steps.len() {
+            self.per_process_steps
+                .resize(other.per_process_steps.len(), 0);
+            self.per_process_ops.resize(other.per_process_ops.len(), 0);
+        }
+        for (a, b) in self
+            .per_process_steps
+            .iter_mut()
+            .zip(&other.per_process_steps)
+        {
+            *a += b;
+        }
+        for (a, b) in self.per_process_ops.iter_mut().zip(&other.per_process_ops) {
+            *a += b;
+        }
+        for (a, b) in self.ops_by_kind.iter_mut().zip(&other.ops_by_kind) {
+            *a += b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +125,31 @@ mod tests {
         assert_eq!(m.ops_of_kind(OpKind::SnapshotScan), 1);
         assert_eq!(m.max_individual_steps(), 4);
         assert!((m.mean_individual_steps() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_elementwise() {
+        let mut a = Metrics::new(2);
+        a.record(0, OpKind::RegisterRead, 1);
+        a.record(1, OpKind::SnapshotScan, 4);
+        let mut b = Metrics::new(3);
+        b.record(2, OpKind::MaxWrite, 2);
+        b.record_skip();
+        a.merge(&b);
+        assert_eq!(a.total_steps, 7);
+        assert_eq!(a.total_ops, 3);
+        assert_eq!(a.per_process_steps, vec![1, 4, 2]);
+        assert_eq!(a.skipped_slots, 1);
+        assert_eq!(a.ops_of_kind(OpKind::MaxWrite), 1);
+        // Merging is order-insensitive for integer counters.
+        let mut c = Metrics::new(3);
+        c.record(2, OpKind::MaxWrite, 2);
+        c.record_skip();
+        let mut d = Metrics::new(2);
+        d.record(0, OpKind::RegisterRead, 1);
+        d.record(1, OpKind::SnapshotScan, 4);
+        c.merge(&d);
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -64,7 +64,6 @@ impl<V> Op<V> {
 
 /// The kind of an [`Op`], without its payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpKind {
     /// A register read.
     RegisterRead,
@@ -219,7 +218,10 @@ mod tests {
             Op::RegisterWrite(RegisterId(0), 1u32).kind(),
             OpKind::RegisterWrite
         );
-        assert_eq!(Op::<u32>::SnapshotScan(SnapshotId(2)).kind(), OpKind::SnapshotScan);
+        assert_eq!(
+            Op::<u32>::SnapshotScan(SnapshotId(2)).kind(),
+            OpKind::SnapshotScan
+        );
     }
 
     #[test]
@@ -233,11 +235,17 @@ mod tests {
 
     #[test]
     fn result_extractors() {
-        assert_eq!(OpResult::RegisterValue(Some(3u32)).expect_register(), Some(3));
+        assert_eq!(
+            OpResult::RegisterValue(Some(3u32)).expect_register(),
+            Some(3)
+        );
         OpResult::<u32>::Ack.expect_ack();
-        assert_eq!(OpResult::MaxValue(Some((5, 8u32))).expect_max(), Some((5, 8)));
-        let view = OpResult::SnapshotView(ScanView::from_components(vec![Some(1u32)]))
-            .expect_view();
+        assert_eq!(
+            OpResult::MaxValue(Some((5, 8u32))).expect_max(),
+            Some((5, 8))
+        );
+        let view =
+            OpResult::SnapshotView(ScanView::from_components(vec![Some(1u32)])).expect_view();
         assert_eq!(view.len(), 1);
     }
 

@@ -40,7 +40,10 @@ impl BlockSequential {
     ///
     /// Panics if `order` is empty.
     pub fn new(order: Vec<ProcessId>) -> Self {
-        assert!(!order.is_empty(), "block schedule needs at least one process");
+        assert!(
+            !order.is_empty(),
+            "block schedule needs at least one process"
+        );
         Self { order, current: 0 }
     }
 

@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn crashed_never_scheduled() {
-        let mut s = CrashSubset::new(RandomInterleave::new(8, 3), vec![ProcessId(2), ProcessId(5)]);
+        let mut s = CrashSubset::new(
+            RandomInterleave::new(8, 3),
+            vec![ProcessId(2), ProcessId(5)],
+        );
         for _ in 0..500 {
             let pid = s.next_pid().unwrap();
             assert_ne!(pid.index(), 2);

@@ -74,7 +74,6 @@ impl<S: Schedule + ?Sized> Schedule for Box<S> {
 /// The schedule families shipped with the simulator, for sweeps over
 /// adversary strategies (experiment E12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ScheduleKind {
     /// Cyclic `0, 1, …, n-1, 0, …` ([`RoundRobin`]).
     RoundRobin,
@@ -108,12 +107,8 @@ impl ScheduleKind {
             ScheduleKind::RoundRobin => Box::new(RoundRobin::new(n)),
             ScheduleKind::RandomInterleave => Box::new(RandomInterleave::new(n, seed)),
             ScheduleKind::BlockSequential => Box::new(BlockSequential::shuffled(n, seed)),
-            ScheduleKind::BlockRotation => {
-                Box::new(BlockRotation::new(n, (n / 2).max(1), seed))
-            }
-            ScheduleKind::Stutter if n >= 2 => {
-                Box::new(Stutter::new(n, ProcessId(0), n as u64))
-            }
+            ScheduleKind::BlockRotation => Box::new(BlockRotation::new(n, (n / 2).max(1), seed)),
+            ScheduleKind::Stutter if n >= 2 => Box::new(Stutter::new(n, ProcessId(0), n as u64)),
             // A single process cannot be starved relative to others.
             ScheduleKind::Stutter => Box::new(RoundRobin::new(n)),
         }

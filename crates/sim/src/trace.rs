@@ -5,7 +5,6 @@ use crate::op::OpKind;
 
 /// One executed operation in an execution trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceEvent {
     /// Global slot index at which the operation executed (0-based, counts
     /// only charged slots, not skips).

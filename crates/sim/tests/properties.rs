@@ -1,3 +1,5 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests of the simulator itself: schedules, memory
 //! objects, and engine accounting invariants.
 
@@ -7,9 +9,7 @@ use sift_sim::schedule::{
     BlockRotation, CrashSubset, RandomInterleave, RepeatingSchedule, RoundRobin, Schedule,
     ScheduleKind, Stutter,
 };
-use sift_sim::{
-    Engine, LayoutBuilder, Memory, Op, OpResult, Process, ProcessId, RegisterId, Step,
-};
+use sift_sim::{Engine, LayoutBuilder, Memory, Op, OpResult, Process, ProcessId, RegisterId, Step};
 
 /// A process that performs `k` writes of its id and then reads back.
 #[derive(Debug)]
@@ -27,7 +27,10 @@ impl Process for Chatter {
         if self.writes_left > 0 {
             self.writes_left -= 1;
             Step::Issue(Op::RegisterWrite(self.reg, self.id))
-        } else if prev.as_ref().is_some_and(|r| matches!(r, OpResult::RegisterValue(_))) {
+        } else if prev
+            .as_ref()
+            .is_some_and(|r| matches!(r, OpResult::RegisterValue(_)))
+        {
             Step::Done(prev.unwrap().expect_register())
         } else {
             Step::Issue(Op::RegisterRead(self.reg))

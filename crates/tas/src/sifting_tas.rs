@@ -73,7 +73,13 @@ impl SiftingTas {
         // the tournament, they do not break safety).
         let tail = ceil_log_4_3(8.0).max(1);
         let probs: Vec<f64> = (1..=aggressive + tail)
-            .map(|i| if i <= aggressive { sifting_p(n as u64, i) } else { 0.5 })
+            .map(|i| {
+                if i <= aggressive {
+                    sifting_p(n as u64, i)
+                } else {
+                    0.5
+                }
+            })
             .collect();
         let registers = builder.registers(probs.len());
         let tournament = TournamentTas::allocate(builder, n);
@@ -100,7 +106,11 @@ impl SiftingTas {
     /// # Panics
     ///
     /// Panics if `pid.index() >= n`.
-    pub fn participant(&self, pid: ProcessId, rng: &mut Xoshiro256StarStar) -> SiftingTasParticipant {
+    pub fn participant(
+        &self,
+        pid: ProcessId,
+        rng: &mut Xoshiro256StarStar,
+    ) -> SiftingTasParticipant {
         assert!(pid.index() < self.n, "{pid} out of range 0..{}", self.n);
         let mut own = Xoshiro256StarStar::seed_from_u64(rng.next_u64());
         let spec = PersonaSpec {
@@ -166,10 +176,7 @@ impl Process for SiftingTasParticipant {
             match std::mem::replace(&mut self.stage, Stage::Finished) {
                 Stage::Sift => {
                     if self.round == self.shared.sift_rounds() {
-                        let sub = self
-                            .shared
-                            .tournament
-                            .participant(self.pid, &mut self.rng);
+                        let sub = self.shared.tournament.participant(self.pid, &mut self.rng);
                         self.stage = Stage::Tournament {
                             sub: Box::new(sub),
                             started: false,
@@ -187,7 +194,7 @@ impl Process for SiftingTasParticipant {
                 }
                 Stage::AwaitSift => {
                     match prev.take().expect("resumed with sift result") {
-                        OpResult::Ack => {} // wrote: survive
+                        OpResult::Ack => {}                 // wrote: survive
                         OpResult::RegisterValue(None) => {} // empty: survive
                         OpResult::RegisterValue(Some(_)) => {
                             // Another contender is ahead: lose and leave.
@@ -199,7 +206,11 @@ impl Process for SiftingTasParticipant {
                     self.stage = Stage::Sift;
                 }
                 Stage::Tournament { mut sub, started } => {
-                    let step = if started { sub.step(prev.take()) } else { sub.step(None) };
+                    let step = if started {
+                        sub.step(prev.take())
+                    } else {
+                        sub.step(None)
+                    };
                     match step {
                         Step::Issue(op) => {
                             self.stage = Stage::Tournament { sub, started: true };
@@ -258,9 +269,7 @@ mod tests {
                 let layout = b.build();
                 let split = SeedSplitter::new(seed);
                 let procs: Vec<_> = (0..n)
-                    .map(|i| {
-                        tas.participant(ProcessId(i), &mut split.stream("process", i as u64))
-                    })
+                    .map(|i| tas.participant(ProcessId(i), &mut split.stream("process", i as u64)))
                     .collect();
                 let report =
                     Engine::new(&layout, procs).run(kind.build(n, split.seed("schedule", 0)));

@@ -38,16 +38,13 @@ impl TasOutcome {
 ///
 /// Panics if two processes won, or if everyone finished and nobody won.
 pub fn check_tas_properties(outcomes: &[Option<TasOutcome>]) {
-    let winners = outcomes
-        .iter()
-        .flatten()
-        .filter(|o| o.is_win())
-        .count();
+    let winners = outcomes.iter().flatten().filter(|o| o.is_win()).count();
     assert!(winners <= 1, "{winners} winners — test-and-set violated");
     let all_finished = outcomes.iter().all(Option::is_some);
     if all_finished && !outcomes.is_empty() {
         assert_eq!(
-            winners, 1,
+            winners,
+            1,
             "all {} participants finished but nobody won",
             outcomes.len()
         );

@@ -176,6 +176,9 @@ mod tests {
                 other => panic!("bad outcome {other:?}"),
             }
         }
-        assert!(side0 > 10 && side1 > 10, "races should go both ways: {side0}/{side1}");
+        assert!(
+            side0 > 10 && side1 > 10,
+            "races should go both ways: {side0}/{side1}"
+        );
     }
 }

@@ -38,9 +38,7 @@ fn trial<C: Conciliator>(
 }
 
 fn main() {
-    println!(
-        "{N} processes, {TRIALS} trials per cell — agreement rate / worst individual steps\n"
-    );
+    println!("{N} processes, {TRIALS} trials per cell — agreement rate / worst individual steps\n");
     print!("{:<22}", "conciliator");
     for kind in ScheduleKind::all() {
         print!("{:>22}", kind.name());

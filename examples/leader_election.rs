@@ -80,7 +80,10 @@ fn main() {
         }
     }
     let leader = leader.expect("someone decided");
-    assert_eq!(decided, live, "every live replica must finish (wait-freedom)");
+    assert_eq!(
+        decided, live,
+        "every live replica must finish (wait-freedom)"
+    );
     assert!(
         replicas.iter().any(|r| r.nomination == leader),
         "leader must have been nominated by someone"

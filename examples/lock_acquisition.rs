@@ -21,8 +21,8 @@ fn main() {
         .map(|i| tas.participant(ProcessId(i), &mut split.stream("worker", i as u64)))
         .collect();
 
-    let report = Engine::new(&layout, participants)
-        .run(RandomInterleave::new(n, split.seed("schedule", 0)));
+    let report =
+        Engine::new(&layout, participants).run(RandomInterleave::new(n, split.seed("schedule", 0)));
     check_tas_properties(&report.outputs);
 
     let winner = report

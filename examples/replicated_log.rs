@@ -52,8 +52,8 @@ fn main() {
         })
         .collect();
 
-    let report = Engine::new(&layout, participants)
-        .run(RandomInterleave::new(n, split.seed("schedule", 0)));
+    let report =
+        Engine::new(&layout, participants).run(RandomInterleave::new(n, split.seed("schedule", 0)));
 
     let total_steps = report.metrics.total_steps;
     let logs = report.unwrap_outputs();

@@ -8,8 +8,7 @@
 
 use sift::core::analysis::{lemma1_expected_excess, sifting_expected_excess};
 use sift::core::{
-    distinct_per_round, Conciliator, Epsilon, RoundHistory, SiftingConciliator,
-    SnapshotConciliator,
+    distinct_per_round, Conciliator, Epsilon, RoundHistory, SiftingConciliator, SnapshotConciliator,
 };
 use sift::sim::rng::SeedSplitter;
 use sift::sim::schedule::RandomInterleave;
@@ -35,8 +34,8 @@ where
                 c.participant(ProcessId(i), i as u64, &mut rng)
             })
             .collect();
-        let report = Engine::new(&layout, procs)
-            .run(RandomInterleave::new(N, split.seed("schedule", 0)));
+        let report =
+            Engine::new(&layout, procs).run(RandomInterleave::new(N, split.seed("schedule", 0)));
         let counts = distinct_per_round(report.processes.iter().map(|p| p.history()));
         if sums.len() < counts.len() {
             sums.resize(counts.len(), 0.0);

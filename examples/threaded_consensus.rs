@@ -44,10 +44,7 @@ fn main() {
             ConsensusOutcome::Decided(d) => {
                 println!(
                     "thread {i}: proposed {:?}, decided {:?} ({} ops, {} phase(s))",
-                    configs[inputs[i] as usize],
-                    configs[d.value as usize],
-                    report.ops[i],
-                    d.phases
+                    configs[inputs[i] as usize], configs[d.value as usize], report.ops[i], d.phases
                 );
                 agreed.get_or_insert(d.value);
                 assert_eq!(agreed, Some(d.value), "split brain!");

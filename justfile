@@ -1,0 +1,43 @@
+# Development recipes. `just ci` mirrors .github/workflows/ci.yml.
+
+# List recipes.
+default:
+    @just --list
+
+# Format the workspace.
+fmt:
+    cargo fmt --all
+
+# Fail if anything is unformatted.
+fmt-check:
+    cargo fmt --all -- --check
+
+# Lint everything; warnings are errors, as in CI.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 gate: release build plus the full test suite.
+tier1:
+    cargo build --release
+    cargo test -q --workspace
+
+# Prove the executor is thread-count invariant: the determinism test
+# suite, then a byte-for-byte diff of exp_all at 1 vs 4 threads.
+determinism:
+    cargo test -q -p sift-bench --test determinism
+    cargo build --release -p sift-bench --bin exp_all
+    SIFT_TRIALS=20 SIFT_THREADS=1 ./target/release/exp_all > /tmp/sift_t1.txt
+    SIFT_TRIALS=20 SIFT_THREADS=4 ./target/release/exp_all > /tmp/sift_t4.txt
+    diff -u /tmp/sift_t1.txt /tmp/sift_t4.txt
+    @echo "exp_all output is byte-identical across thread counts"
+
+# Everything CI runs.
+ci: fmt-check clippy tier1 determinism
+
+# Regenerate the recorded experiment output (uses all cores).
+experiments:
+    cargo run --release -p sift-bench --bin exp_all | tee experiments_output.txt
+
+# In-tree microbenchmarks.
+bench:
+    cargo bench -p sift-bench

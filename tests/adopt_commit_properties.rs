@@ -1,3 +1,5 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests of the adopt-commit contract (validity,
 //! convergence, coherence) for every implementation under arbitrary
 //! proposals and schedule families.

@@ -1,3 +1,5 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests of the conciliator contract (termination,
 //! validity, probabilistic agreement plumbing) across all four
 //! constructions and every schedule family.
@@ -5,8 +7,8 @@
 use proptest::prelude::*;
 
 use sift::core::{
-    distinct_per_round, CilConciliator, Conciliator, EmbeddedConciliator, Epsilon,
-    MaxConciliator, RoundHistory, SiftingConciliator, SnapshotConciliator,
+    distinct_per_round, CilConciliator, Conciliator, EmbeddedConciliator, Epsilon, MaxConciliator,
+    RoundHistory, SiftingConciliator, SnapshotConciliator,
 };
 use sift::sim::rng::SeedSplitter;
 use sift::sim::schedule::ScheduleKind;

@@ -1,3 +1,5 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests of the full consensus stacks: agreement and
 //! validity are *absolute* (never merely probabilistic), under every
 //! schedule family and under crash failures.

@@ -20,10 +20,7 @@ where
     P: Process,
 {
     let memory = AtomicMemory::new(layout);
-    let mut slots: Vec<LockstepSlot<P>> = processes
-        .into_iter()
-        .map(|p| Some((p, None)))
-        .collect();
+    let mut slots: Vec<LockstepSlot<P>> = processes.into_iter().map(|p| Some((p, None))).collect();
     let mut outputs: Vec<Option<P::Output>> = (0..slots.len()).map(|_| None).collect();
     let mut schedule = RoundRobin::new(slots.len());
     let mut remaining = slots.len();

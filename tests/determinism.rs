@@ -92,7 +92,12 @@ fn schedule_kinds_are_reproducible() {
         let mut a = kind.build(6, 42);
         let mut b = kind.build(6, 42);
         for _ in 0..100 {
-            assert_eq!(a.next_pid(), b.next_pid(), "{} not reproducible", kind.name());
+            assert_eq!(
+                a.next_pid(),
+                b.next_pid(),
+                "{} not reproducible",
+                kind.name()
+            );
         }
     }
 }

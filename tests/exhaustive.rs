@@ -3,8 +3,7 @@
 //! randomized testing only samples.
 
 use sift::adopt_commit::{
-    check_ac_properties, AcOutput, AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc,
-    GafniSnapshotAc,
+    check_ac_properties, AcOutput, AdoptCommit, DigitAc, FlagsAc, GafniRegisterAc, GafniSnapshotAc,
 };
 use sift::core::{Conciliator, Epsilon, SiftingConciliator};
 use sift::sim::explore::explore;
@@ -24,13 +23,18 @@ fn flags_ac_is_coherent_under_all_interleavings_of_two() {
                 ac.proposer(ProcessId(0), a, a),
                 ac.proposer(ProcessId(1), b, b),
             ];
-            let total = explore(&layout, procs, 10_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+            let total = explore(&layout, procs, 10_000, &mut |outs: &[Option<
+                AcOutput<u64>,
+            >]| {
                 check_ac_properties(&[a, b], outs);
             })
             .unwrap();
             // Path lengths vary with candidacy; conflicting proposals
             // shorten the raw path, so the count is a range.
-            assert!((1000..=3432).contains(&total), "proposals ({a},{b}): {total}");
+            assert!(
+                (1000..=3432).contains(&total),
+                "proposals ({a},{b}): {total}"
+            );
         }
     }
 }
@@ -48,11 +52,16 @@ fn digit_ac_is_coherent_under_all_interleavings_of_two() {
                 ac.proposer(ProcessId(0), a, a),
                 ac.proposer(ProcessId(1), b, b),
             ];
-            let total = explore(&layout, procs, 20_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+            let total = explore(&layout, procs, 20_000, &mut |outs: &[Option<
+                AcOutput<u64>,
+            >]| {
                 check_ac_properties(&[a, b], outs);
             })
             .unwrap();
-            assert!((1000..=12_870).contains(&total), "proposals ({a},{b}): {total}");
+            assert!(
+                (1000..=12_870).contains(&total),
+                "proposals ({a},{b}): {total}"
+            );
         }
     }
 }
@@ -71,7 +80,9 @@ fn gafni_snapshot_ac_is_coherent_under_all_interleavings_of_two() {
                 ac.proposer(ProcessId(0), a, a),
                 ac.proposer(ProcessId(1), b, b),
             ];
-            let total = explore(&layout, procs, 10_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+            let total = explore(&layout, procs, 10_000, &mut |outs: &[Option<
+                AcOutput<u64>,
+            >]| {
                 check_ac_properties(&[a, b], outs);
             })
             .unwrap();
@@ -94,7 +105,9 @@ fn gafni_snapshot_ac_is_coherent_under_all_interleavings_of_three() {
         .enumerate()
         .map(|(i, &c)| ac.proposer(ProcessId(i), c, c))
         .collect();
-    let total = explore(&layout, procs, 1_000_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+    let total = explore(&layout, procs, 1_000_000, &mut |outs: &[Option<
+        AcOutput<u64>,
+    >]| {
         check_ac_properties(&proposals, outs);
     })
     .unwrap();
@@ -114,7 +127,9 @@ fn gafni_register_ac_is_coherent_under_all_interleavings_of_two() {
                 ac.proposer(ProcessId(0), a, a),
                 ac.proposer(ProcessId(1), b, b),
             ];
-            explore(&layout, procs, 20_000, &mut |outs: &[Option<AcOutput<u64>>]| {
+            explore(&layout, procs, 20_000, &mut |outs: &[Option<
+                AcOutput<u64>,
+            >]| {
                 check_ac_properties(&[a, b], outs);
             })
             .unwrap();

@@ -1,3 +1,5 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests of the replicated log: identical logs on every
 //! replica, validity of every entry, and per-proposer FIFO order —
 //! under arbitrary schedules and command mixes.

@@ -1,6 +1,9 @@
 //! Statistical integration tests: the paper's quantitative guarantees,
 //! measured end to end with enough trials to be decisive but few enough
 //! to keep `cargo test` fast. (The full sweeps live in `sift-bench`.)
+//!
+//! Trials fan out over `sift_bench::exec::map_reduce`, so these tests
+//! use every core while remaining bit-identical to a serial run.
 
 use sift::core::analysis::{lemma1_expected_excess, sifting_expected_excess};
 use sift::core::{
@@ -10,11 +13,13 @@ use sift::core::{
 use sift::sim::rng::SeedSplitter;
 use sift::sim::schedule::RandomInterleave;
 use sift::sim::{Engine, LayoutBuilder, ProcessId};
+use sift_bench::exec::map_reduce;
+use sift_bench::stats::RoundExcess;
 
 fn run_survivors<C>(
     n: usize,
     seed: u64,
-    build: impl FnOnce(&mut LayoutBuilder) -> C,
+    build: impl Fn(&mut LayoutBuilder) -> C,
 ) -> (Vec<usize>, bool, u64)
 where
     C: Conciliator,
@@ -30,10 +35,8 @@ where
             c.participant(ProcessId(i), i as u64, &mut rng)
         })
         .collect();
-    let report = Engine::new(&layout, procs).run(RandomInterleave::new(
-        n,
-        split.seed("schedule", 0),
-    ));
+    let report =
+        Engine::new(&layout, procs).run(RandomInterleave::new(n, split.seed("schedule", 0)));
     let counts = distinct_per_round(report.processes.iter().map(|p| p.history()));
     let total = report.metrics.total_steps;
     let agreed = {
@@ -44,25 +47,34 @@ where
     (counts, agreed, total)
 }
 
+fn mean_excess<C>(
+    n: usize,
+    trials: usize,
+    build: impl Fn(&mut LayoutBuilder) -> C + Sync,
+) -> Vec<f64>
+where
+    C: Conciliator,
+    C::Participant: RoundHistory,
+{
+    map_reduce(
+        trials,
+        |seed| run_survivors(n, seed, &build).0,
+        RoundExcess::new,
+        |acc, counts| acc.record(&counts),
+    )
+    .means()
+}
+
 /// Lemma 1, measured: the mean excess after each round of Algorithm 1
 /// stays within the iterated-f bound (with sampling slack).
 #[test]
 fn lemma1_decay_holds_at_n_128() {
     let n = 128;
-    let trials = 60;
-    let mut sums = vec![0.0f64; 64];
-    let mut rounds = 0;
-    for seed in 0..trials {
-        let (counts, _, _) = run_survivors(n, seed, |b| {
-            SnapshotConciliator::allocate(b, n, Epsilon::HALF)
-        });
-        rounds = counts.len();
-        for (i, &c) in counts.iter().enumerate() {
-            sums[i] += (c - 1) as f64;
-        }
-    }
-    for (i, sum) in sums.iter().enumerate().take(rounds) {
-        let mean = sum / trials as f64;
+    let means = mean_excess(n, 60, |b| {
+        SnapshotConciliator::allocate(b, n, Epsilon::HALF)
+    });
+    assert!(!means.is_empty());
+    for (i, &mean) in means.iter().enumerate() {
         let bound = lemma1_expected_excess(n as u64, (i + 1) as u32);
         assert!(
             mean <= bound * 1.25,
@@ -77,20 +89,9 @@ fn lemma1_decay_holds_at_n_128() {
 #[test]
 fn sifting_decay_holds_at_n_512() {
     let n = 512;
-    let trials = 60;
-    let mut sums = vec![0.0f64; 64];
-    let mut rounds = 0;
-    for seed in 0..trials {
-        let (counts, _, _) = run_survivors(n, seed, |b| {
-            SiftingConciliator::allocate(b, n, Epsilon::HALF)
-        });
-        rounds = counts.len();
-        for (i, &c) in counts.iter().enumerate() {
-            sums[i] += (c - 1) as f64;
-        }
-    }
-    for (i, sum) in sums.iter().enumerate().take(rounds) {
-        let mean = sum / trials as f64;
+    let means = mean_excess(n, 60, |b| SiftingConciliator::allocate(b, n, Epsilon::HALF));
+    assert!(!means.is_empty());
+    for (i, &mean) in means.iter().enumerate() {
         let bound = sifting_expected_excess(n as u64, (i + 1) as u32);
         assert!(
             mean <= bound * 1.25,
@@ -105,29 +106,32 @@ fn sifting_decay_holds_at_n_512() {
 #[test]
 fn theorem3_total_work_and_agreement() {
     let n = 256;
-    let trials = 30;
-    let mut total = 0u64;
-    let mut agreements = 0;
-    for seed in 0..trials {
-        let mut b = LayoutBuilder::new();
-        let c = EmbeddedConciliator::allocate(&mut b, n);
-        let layout = b.build();
-        let split = SeedSplitter::new(seed);
-        let procs: Vec<_> = (0..n)
-            .map(|i| {
-                let mut rng = split.stream("process", i as u64);
-                c.participant(ProcessId(i), i as u64, &mut rng)
-            })
-            .collect();
-        let report = Engine::new(&layout, procs).run(RandomInterleave::new(
-            n,
-            split.seed("schedule", 0),
-        ));
-        total += report.metrics.total_steps;
-        use std::collections::HashSet;
-        let outs: HashSet<_> = report.decided().map(|p| p.origin()).collect();
-        agreements += u64::from(outs.len() == 1);
-    }
+    let trials = 30usize;
+    let (total, agreements) = map_reduce(
+        trials,
+        |seed| {
+            let mut b = LayoutBuilder::new();
+            let c = EmbeddedConciliator::allocate(&mut b, n);
+            let layout = b.build();
+            let split = SeedSplitter::new(seed);
+            let procs: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), i as u64, &mut rng)
+                })
+                .collect();
+            let report = Engine::new(&layout, procs)
+                .run(RandomInterleave::new(n, split.seed("schedule", 0)));
+            use std::collections::HashSet;
+            let outs: HashSet<_> = report.decided().map(|p| p.origin()).collect();
+            (report.metrics.total_steps, u64::from(outs.len() == 1))
+        },
+        || (0u64, 0u64),
+        |(total, agreements), (t, a)| {
+            *total += t;
+            *agreements += a;
+        },
+    );
     let mean_total = total as f64 / trials as f64;
     assert!(
         mean_total < 30.0 * n as f64,
@@ -143,20 +147,24 @@ fn theorem3_total_work_and_agreement() {
 #[test]
 fn epsilon_budgets_are_respected() {
     let n = 32;
-    let trials = 400;
+    let trials = 400usize;
     let eps = Epsilon::QUARTER;
-    let mut disagree_snapshot = 0;
-    let mut disagree_sifting = 0;
-    for seed in 0..trials {
-        let (_, agreed, _) = run_survivors(n, seed, |b| {
-            SnapshotConciliator::allocate(b, n, eps)
-        });
-        disagree_snapshot += u64::from(!agreed);
-        let (_, agreed, _) = run_survivors(n, seed + 100_000, |b| {
-            SiftingConciliator::allocate(b, n, eps)
-        });
-        disagree_sifting += u64::from(!agreed);
-    }
+    let (disagree_snapshot, disagree_sifting) = map_reduce(
+        trials,
+        |seed| {
+            let (_, snap_agreed, _) =
+                run_survivors(n, seed, |b| SnapshotConciliator::allocate(b, n, eps));
+            let (_, sift_agreed, _) = run_survivors(n, seed + 100_000, |b| {
+                SiftingConciliator::allocate(b, n, eps)
+            });
+            (u64::from(!snap_agreed), u64::from(!sift_agreed))
+        },
+        || (0u64, 0u64),
+        |(snap, sift), (s1, s2)| {
+            *snap += s1;
+            *sift += s2;
+        },
+    );
     let budget = (trials as f64 * eps.get()) as u64;
     assert!(
         disagree_snapshot <= budget,

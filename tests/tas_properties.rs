@@ -1,3 +1,5 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests of the test-and-set family across schedules,
 //! sizes, and crash patterns.
 

@@ -6,10 +6,7 @@ use sift::sim::rng::SeedSplitter;
 use sift::sim::schedule::RoundRobin;
 use sift::sim::{CostModel, Engine, LayoutBuilder, Memory, OpKind, ProcessId};
 
-fn sifting_engine(
-    n: usize,
-    seed: u64,
-) -> (Engine<sift::core::SiftingParticipant>, usize) {
+fn sifting_engine(n: usize, seed: u64) -> (Engine<sift::core::SiftingParticipant>, usize) {
     let mut b = LayoutBuilder::new();
     let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
     let layout = b.build();
@@ -97,7 +94,11 @@ fn register_cost_model_multiplies_snapshot_charges() {
 
     // Identical outcomes: the cost model is pure accounting.
     let u: Vec<u64> = unit.unwrap_outputs().iter().map(|p| p.input()).collect();
-    let r: Vec<u64> = register.unwrap_outputs().iter().map(|p| p.input()).collect();
+    let r: Vec<u64> = register
+        .unwrap_outputs()
+        .iter()
+        .map(|p| p.input())
+        .collect();
     assert_eq!(u, r);
 }
 
