@@ -34,4 +34,4 @@ pub use binary::{BinaryAc, BitOutput};
 pub use digit::{DigitAc, DigitProposer};
 pub use flags::{FlagsAc, FlagsProposer};
 pub use gafni::{GafniRegisterAc, GafniRegisterProposer, GafniSnapshotAc, GafniSnapshotProposer};
-pub use spec::{check_ac_properties, AcOutput, AdoptCommit, Verdict};
+pub use spec::{check_ac_properties, try_check_ac_properties, AcOutput, AdoptCommit, Verdict};

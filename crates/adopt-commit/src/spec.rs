@@ -70,25 +70,33 @@ pub trait AdoptCommit<V: Value> {
     fn steps_bound(&self) -> u64;
 }
 
-/// Checks the adopt-commit safety properties over a finished execution.
+/// Checks the adopt-commit safety properties over a finished execution,
+/// returning the first violation as an error message.
 ///
 /// `proposals[i]` is the code proposed by process `i`; `outputs[i]` its
-/// result (or `None` if it crashed before finishing). Panics with a
-/// description of the first violated property; intended for tests.
+/// result (or `None` if it crashed before finishing). This is the hook
+/// the model checker's visitors use
+/// (see [`check_dpor`](sift_sim::mc::check_dpor)); tests that just want
+/// a panic use [`check_ac_properties`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if validity, convergence, or coherence is violated.
-pub fn check_ac_properties<V: Value>(proposals: &[u64], outputs: &[Option<AcOutput<V>>]) {
+/// Returns a description of the first violated property (validity,
+/// convergence, or coherence).
+pub fn try_check_ac_properties<V: Value>(
+    proposals: &[u64],
+    outputs: &[Option<AcOutput<V>>],
+) -> Result<(), String> {
     let decided: Vec<&AcOutput<V>> = outputs.iter().flatten().collect();
 
     // Validity: every returned code was proposed.
     for out in &decided {
-        assert!(
-            proposals.contains(&out.code),
-            "validity violated: returned code {} was never proposed (proposals {proposals:?})",
-            out.code
-        );
+        if !proposals.contains(&out.code) {
+            return Err(format!(
+                "validity violated: returned code {} was never proposed (proposals {proposals:?})",
+                out.code
+            ));
+        }
     }
 
     // Convergence: unanimous input => unanimous commit on it.
@@ -98,26 +106,40 @@ pub fn check_ac_properties<V: Value>(proposals: &[u64], outputs: &[Option<AcOutp
     let unanimous = proposals.windows(2).all(|w| w[0] == w[1]);
     if unanimous && !proposals.is_empty() {
         for out in &decided {
-            assert!(
-                out.verdict == Verdict::Commit && out.code == proposals[0],
-                "convergence violated: unanimous input {} but got {:?} on code {}",
-                proposals[0],
-                out.verdict,
-                out.code
-            );
+            if out.verdict != Verdict::Commit || out.code != proposals[0] {
+                return Err(format!(
+                    "convergence violated: unanimous input {} but got {:?} on code {}",
+                    proposals[0], out.verdict, out.code
+                ));
+            }
         }
     }
 
     // Coherence: a commit on v forces everyone to v.
     if let Some(committed) = decided.iter().find(|o| o.is_commit()) {
         for out in &decided {
-            assert!(
-                out.code == committed.code,
-                "coherence violated: committed code {} but another process returned code {}",
-                committed.code,
-                out.code
-            );
+            if out.code != committed.code {
+                return Err(format!(
+                    "coherence violated: committed code {} but another process returned code {}",
+                    committed.code, out.code
+                ));
+            }
         }
+    }
+    Ok(())
+}
+
+/// Checks the adopt-commit safety properties over a finished execution.
+///
+/// Panicking wrapper around [`try_check_ac_properties`]; intended for
+/// tests.
+///
+/// # Panics
+///
+/// Panics if validity, convergence, or coherence is violated.
+pub fn check_ac_properties<V: Value>(proposals: &[u64], outputs: &[Option<AcOutput<V>>]) {
+    if let Err(message) = try_check_ac_properties(proposals, outputs) {
+        panic!("{message}");
     }
 }
 

@@ -47,6 +47,32 @@ pub trait Conciliator {
     fn agreement_probability(&self) -> f64;
 }
 
+/// Checks conciliator validity over a (possibly partial) execution:
+/// every decided persona must carry some process's input.
+///
+/// `inputs[i]` is the input of process `i`; `outputs[i]` its returned
+/// persona, or `None` if it crashed or was starved. This is the hook
+/// the model checker's visitors use
+/// (see [`check_dpor`](sift_sim::mc::check_dpor)).
+///
+/// # Errors
+///
+/// Returns a description of the first invalid output.
+pub fn try_check_validity(inputs: &[u64], outputs: &[Option<Persona>]) -> Result<(), String> {
+    for (pid, persona) in outputs.iter().enumerate() {
+        if let Some(persona) = persona {
+            if !inputs.contains(&persona.input()) {
+                return Err(format!(
+                    "validity violated: process {pid} returned input {} \
+                     which nobody proposed (inputs {inputs:?})",
+                    persona.input()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Round-by-round persona history, for survivor-decay experiments
 /// (E1, E4, E5).
 ///

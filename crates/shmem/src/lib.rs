@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod history;
 pub mod indexed;
 pub mod max_register;
 pub mod memory;
@@ -40,7 +41,10 @@ pub mod runtime;
 pub mod snapshot;
 pub mod sync;
 
+pub use history::RecordingMemory;
 pub use indexed::{run_threads_lock_free, IndexedMemory};
 pub use memory::AtomicMemory;
 pub use persona_table::PersonaTable;
-pub use runtime::{run_threads, ThreadReport};
+pub use runtime::{
+    run_lockstep, run_lockstep_recorded, run_threads, run_threads_recorded, ThreadReport,
+};

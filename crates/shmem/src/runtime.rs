@@ -12,8 +12,11 @@
 
 use std::sync::Arc;
 
-use sift_sim::{Layout, Process, Step};
+use sift_sim::mc::History;
+use sift_sim::schedule::{RoundRobin, Schedule};
+use sift_sim::{Layout, Op, OpResult, Process, ProcessId, Step};
 
+use crate::history::RecordingMemory;
 use crate::memory::AtomicMemory;
 
 /// Outcome of one threaded run.
@@ -101,6 +104,113 @@ where
         ops.push(count);
     }
     ThreadReport { outputs, ops }
+}
+
+/// Runs each process state machine on its own OS thread against a
+/// [`RecordingMemory`], returning the report together with the captured
+/// concurrent [`History`] (see
+/// [`check_linearizable`](sift_sim::mc::check_linearizable)).
+///
+/// # Panics
+///
+/// Panics if a process thread panics.
+pub fn run_threads_recorded<P>(
+    layout: &Layout,
+    processes: Vec<P>,
+) -> (ThreadReport<P::Output>, History<P::Value>)
+where
+    P: Process + Send + 'static,
+    P::Output: Send + 'static,
+{
+    let memory: Arc<RecordingMemory<P::Value>> = Arc::new(RecordingMemory::new(layout));
+    let handles: Vec<_> = processes
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut proc)| {
+            let memory = Arc::clone(&memory);
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                let mut prev = None;
+                loop {
+                    match proc.step(prev.take()) {
+                        Step::Issue(op) => {
+                            ops += 1;
+                            prev = Some(memory.execute_as(ProcessId(i), op));
+                        }
+                        Step::Done(output) => return (output, ops),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut outputs = Vec::with_capacity(handles.len());
+    let mut ops = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let (output, count) = handle.join().expect("process thread panicked");
+        outputs.push(output);
+        ops.push(count);
+    }
+    let Ok(memory) = Arc::try_unwrap(memory) else {
+        unreachable!("all process threads joined, so no clone outlives us");
+    };
+    (ThreadReport { outputs, ops }, memory.into_history())
+}
+
+/// Drives the state machines against the threaded objects in the exact
+/// round-robin order the simulator's engine would use, single-threaded.
+///
+/// Because the engine resumes a state machine immediately after its
+/// operation executes, "one operation per scheduled slot" here is the
+/// same discipline — outputs must match a simulator run under
+/// [`RoundRobin`] exactly, which `tests/cross_runtime.rs` verifies.
+pub fn run_lockstep<P: Process>(layout: &Layout, processes: Vec<P>) -> Vec<P::Output> {
+    let memory = AtomicMemory::new(layout);
+    drive_lockstep(processes, |_, op| memory.execute(op))
+}
+
+/// [`run_lockstep`] over a [`RecordingMemory`]: returns the outputs and
+/// the captured (sequential) history.
+pub fn run_lockstep_recorded<P: Process>(
+    layout: &Layout,
+    processes: Vec<P>,
+) -> (Vec<P::Output>, History<P::Value>) {
+    let memory = RecordingMemory::new(layout);
+    let outputs = drive_lockstep(processes, |pid, op| memory.execute_as(pid, op));
+    (outputs, memory.into_history())
+}
+
+/// A live process paired with the result of its last operation, or
+/// `None` once it has finished.
+type LockstepSlot<P> = Option<(P, Option<OpResult<<P as Process>::Value>>)>;
+
+fn drive_lockstep<P: Process>(
+    processes: Vec<P>,
+    mut execute: impl FnMut(ProcessId, Op<P::Value>) -> OpResult<P::Value>,
+) -> Vec<P::Output> {
+    let mut slots: Vec<LockstepSlot<P>> = processes.into_iter().map(|p| Some((p, None))).collect();
+    let mut outputs: Vec<Option<P::Output>> = (0..slots.len()).map(|_| None).collect();
+    let mut schedule = RoundRobin::new(slots.len());
+    let mut remaining = slots.len();
+    while remaining > 0 {
+        let pid = schedule.next_pid().expect("round robin is infinite");
+        let slot = &mut slots[pid.index()];
+        if let Some((proc_ref, prev)) = slot.as_mut() {
+            match proc_ref.step(prev.take()) {
+                Step::Issue(op) => {
+                    *prev = Some(execute(pid, op));
+                }
+                Step::Done(out) => {
+                    outputs[pid.index()] = Some(out);
+                    *slot = None;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    outputs
+        .into_iter()
+        .map(|o| o.expect("lockstep runs every process to completion"))
+        .collect()
 }
 
 /// Convenience alias used by examples: the value type most protocols

@@ -22,6 +22,14 @@ impl<T> Mutex<T> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+
+    /// Consumes the lock and returns its contents, recovering from
+    /// poisoning.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// A reader-writer lock; [`read`](RwLock::read) and

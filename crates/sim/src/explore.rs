@@ -1,63 +1,18 @@
-//! Exhaustive exploration of all interleavings.
+//! Exhaustive exploration of all interleavings (compatibility façade).
 //!
-//! Randomized testing samples schedules; for small instances we can do
-//! better and enumerate **every** schedule. Given cloneable process
-//! state machines, [`explore`] walks the full tree of interleavings
-//! (which live process takes the next step) and invokes a visitor on
-//! the outputs of every maximal execution — a bounded model check of
-//! safety properties such as adopt-commit coherence or consensus
-//! agreement.
-//!
-//! The number of executions of processes taking `s₁, …, s_k` steps is
-//! the multinomial `(Σsᵢ)! / Πsᵢ!`, so keep instances tiny (e.g. two
-//! 7-step proposers → 3432 executions; three 5-step proposers →
-//! 756 756). The `limit` parameter aborts cleanly instead of running
-//! forever when an instance is too big.
+//! This module predates the model-checking subsystem and now forwards
+//! to it: [`explore`] is the naive multinomial enumerator, kept for
+//! callers that only need outputs. New code should use
+//! [`crate::mc`] directly — [`explore_naive`](crate::mc::explore_naive)
+//! for the raw enumeration with event recording, or
+//! [`explore_dpor`](crate::mc::explore_dpor) for the partial-order-
+//! reduced explorer that makes non-toy instances feasible and supports
+//! crash injection.
 
 use crate::layout::Layout;
-use crate::memory::Memory;
-use crate::op::Op;
-use crate::process::{Process, Step};
-use crate::value::Value;
-
-/// Error returned when the execution tree exceeds the configured limit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TooManyExecutions {
-    /// The limit that was exceeded.
-    pub limit: u64,
-}
-
-impl std::fmt::Display for TooManyExecutions {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "more than {} executions; shrink the instance",
-            self.limit
-        )
-    }
-}
-
-impl std::error::Error for TooManyExecutions {}
-
-enum ExpSlot<P: Process> {
-    Running { proc: P, pending: Op<P::Value> },
-    Done,
-}
-
-impl<P: Process + Clone> Clone for ExpSlot<P>
-where
-    P::Value: Value,
-{
-    fn clone(&self) -> Self {
-        match self {
-            ExpSlot::Running { proc, pending } => ExpSlot::Running {
-                proc: proc.clone(),
-                pending: pending.clone(),
-            },
-            ExpSlot::Done => ExpSlot::Done,
-        }
-    }
-}
+use crate::mc::explore_naive;
+pub use crate::mc::TooManyExecutions;
+use crate::process::Process;
 
 /// Enumerates every interleaving of `processes` over fresh memory for
 /// `layout`, calling `visit` with the final outputs of each maximal
@@ -116,187 +71,5 @@ where
     P: Process + Clone,
     P::Output: Clone,
 {
-    let n = processes.len();
-    let mut outputs: Vec<Option<P::Output>> = vec![None; n];
-    let slots: Vec<ExpSlot<P>> = processes
-        .into_iter()
-        .enumerate()
-        .map(|(i, mut proc)| match proc.step(None) {
-            Step::Issue(op) => ExpSlot::Running { proc, pending: op },
-            Step::Done(out) => {
-                outputs[i] = Some(out);
-                ExpSlot::Done
-            }
-        })
-        .collect();
-    let memory = Memory::new(layout);
-    let mut count = 0u64;
-    dfs(memory, slots, outputs, limit, &mut count, visit)?;
-    Ok(count)
-}
-
-fn dfs<P>(
-    memory: Memory<P::Value>,
-    slots: Vec<ExpSlot<P>>,
-    outputs: Vec<Option<P::Output>>,
-    limit: u64,
-    count: &mut u64,
-    visit: &mut impl FnMut(&[Option<P::Output>]),
-) -> Result<(), TooManyExecutions>
-where
-    P: Process + Clone,
-    P::Output: Clone,
-{
-    let live: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| matches!(s, ExpSlot::Running { .. }))
-        .map(|(i, _)| i)
-        .collect();
-    if live.is_empty() {
-        *count += 1;
-        if *count > limit {
-            return Err(TooManyExecutions { limit });
-        }
-        visit(&outputs);
-        return Ok(());
-    }
-    for &i in &live {
-        let (mut memory, mut slots, mut outputs) = (memory.clone(), slots.clone(), outputs.clone());
-        let ExpSlot::Running { mut proc, pending } =
-            std::mem::replace(&mut slots[i], ExpSlot::Done)
-        else {
-            unreachable!("live slot is running");
-        };
-        let result = memory.execute(pending);
-        match proc.step(Some(result)) {
-            Step::Issue(op) => slots[i] = ExpSlot::Running { proc, pending: op },
-            Step::Done(out) => outputs[i] = Some(out),
-        }
-        dfs(memory, slots, outputs, limit, count, visit)?;
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ids::RegisterId;
-    use crate::layout::LayoutBuilder;
-    use crate::op::OpResult;
-
-    #[derive(Clone)]
-    struct Steps {
-        reg: RegisterId,
-        id: u64,
-        ops: u32,
-        issued: u32,
-    }
-
-    impl Process for Steps {
-        type Value = u64;
-        type Output = u64;
-
-        fn step(&mut self, _prev: Option<OpResult<u64>>) -> Step<u64, u64> {
-            if self.issued < self.ops {
-                self.issued += 1;
-                Step::Issue(Op::RegisterWrite(self.reg, self.id))
-            } else {
-                Step::Done(self.id)
-            }
-        }
-    }
-
-    fn layout_one() -> (crate::layout::Layout, RegisterId) {
-        let mut b = LayoutBuilder::new();
-        let r = b.register();
-        (b.build(), r)
-    }
-
-    #[test]
-    fn counts_interleavings_multinomially() {
-        // s1 = 2, s2 = 3: C(5, 2) = 10.
-        let (layout, r) = layout_one();
-        let procs = vec![
-            Steps {
-                reg: r,
-                id: 0,
-                ops: 2,
-                issued: 0,
-            },
-            Steps {
-                reg: r,
-                id: 1,
-                ops: 3,
-                issued: 0,
-            },
-        ];
-        let total = explore(&layout, procs, 100, &mut |_| {}).unwrap();
-        assert_eq!(total, 10);
-    }
-
-    #[test]
-    fn three_processes_count() {
-        // 2 ops each: 6!/(2!2!2!) = 90.
-        let (layout, r) = layout_one();
-        let procs: Vec<Steps> = (0..3)
-            .map(|id| Steps {
-                reg: r,
-                id,
-                ops: 2,
-                issued: 0,
-            })
-            .collect();
-        let total = explore(&layout, procs, 1000, &mut |_| {}).unwrap();
-        assert_eq!(total, 90);
-    }
-
-    #[test]
-    fn limit_is_enforced() {
-        let (layout, r) = layout_one();
-        let procs = vec![
-            Steps {
-                reg: r,
-                id: 0,
-                ops: 5,
-                issued: 0,
-            },
-            Steps {
-                reg: r,
-                id: 1,
-                ops: 5,
-                issued: 0,
-            },
-        ];
-        let err = explore(&layout, procs, 10, &mut |_| {}).unwrap_err();
-        assert_eq!(err.limit, 10);
-        assert!(err.to_string().contains("shrink"));
-    }
-
-    #[test]
-    fn zero_processes_yield_one_empty_execution() {
-        let (layout, _) = layout_one();
-        let mut visits = 0;
-        let total = explore::<Steps>(&layout, Vec::new(), 10, &mut |outs| {
-            visits += 1;
-            assert!(outs.is_empty());
-        })
-        .unwrap();
-        assert_eq!(total, 1);
-        assert_eq!(visits, 1);
-    }
-
-    #[test]
-    fn immediately_done_processes_are_visited_once() {
-        let (layout, r) = layout_one();
-        let procs = vec![Steps {
-            reg: r,
-            id: 7,
-            ops: 0,
-            issued: 0,
-        }];
-        let mut seen = Vec::new();
-        explore(&layout, procs, 10, &mut |outs| seen.push(outs[0])).unwrap();
-        assert_eq!(seen, vec![Some(7)]);
-    }
+    explore_naive(layout, processes, limit, &mut |view| visit(view.outputs))
 }

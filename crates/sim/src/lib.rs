@@ -61,6 +61,7 @@ pub mod explore;
 pub mod ids;
 pub mod layout;
 pub mod max_register;
+pub mod mc;
 pub mod memory;
 pub mod metrics;
 pub mod op;

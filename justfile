@@ -31,8 +31,20 @@ determinism:
     diff -u /tmp/sift_t1.txt /tmp/sift_t4.txt
     @echo "exp_all output is byte-identical across thread counts"
 
+# Model-checking suites at CI weight: DPOR exploration, linearizability
+# of captured histories, and counterexample replay. Runs in debug (the
+# non-ignored instances are small); `mc-full` covers the heavy tier.
+mc:
+    cargo test -q --test exhaustive --test linearizability --test mc_replay
+
+# The full model-checking tier, including the `#[ignore]`d 4-proposer
+# instances (hundreds of thousands of explored interleavings; release
+# mode is mandatory — debug would take many minutes).
+mc-full:
+    cargo test --release --test exhaustive --test linearizability --test mc_replay -- --include-ignored
+
 # Everything CI runs.
-ci: fmt-check clippy tier1 determinism
+ci: fmt-check clippy tier1 mc determinism
 
 # Regenerate the recorded experiment output (uses all cores).
 experiments:

@@ -4,44 +4,10 @@
 //! outcome exactly.
 
 use sift::core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
-use sift::shmem::memory::AtomicMemory;
-use sift::shmem::runtime::run_threads;
+use sift::shmem::{run_lockstep, run_threads};
 use sift::sim::rng::SeedSplitter;
-use sift::sim::schedule::{RoundRobin, Schedule};
-use sift::sim::{Engine, LayoutBuilder, Process, ProcessId, Step};
-
-/// Drives the state machines against `AtomicMemory` in the exact
-/// round-robin order the simulator would use — the two runtimes must
-/// then produce identical outputs.
-type LockstepSlot<P> = Option<(P, Option<sift::sim::OpResult<<P as Process>::Value>>)>;
-
-fn lockstep_over_atomic_memory<P>(layout: &sift::sim::Layout, processes: Vec<P>) -> Vec<P::Output>
-where
-    P: Process,
-{
-    let memory = AtomicMemory::new(layout);
-    let mut slots: Vec<LockstepSlot<P>> = processes.into_iter().map(|p| Some((p, None))).collect();
-    let mut outputs: Vec<Option<P::Output>> = (0..slots.len()).map(|_| None).collect();
-    let mut schedule = RoundRobin::new(slots.len());
-    let mut remaining = slots.len();
-    while remaining > 0 {
-        let pid = schedule.next_pid().expect("round robin is infinite");
-        let slot = &mut slots[pid.index()];
-        if let Some((proc_ref, prev)) = slot.as_mut() {
-            match proc_ref.step(prev.take()) {
-                Step::Issue(op) => {
-                    *prev = Some(memory.execute(op));
-                }
-                Step::Done(out) => {
-                    outputs[pid.index()] = Some(out);
-                    *slot = None;
-                    remaining -= 1;
-                }
-            }
-        }
-    }
-    outputs.into_iter().map(|o| o.unwrap()).collect()
-}
+use sift::sim::schedule::RoundRobin;
+use sift::sim::{Engine, LayoutBuilder, ProcessId};
 
 fn sifting_participants(
     n: usize,
@@ -76,7 +42,7 @@ fn lockstep_threads_match_simulator_exactly() {
             .collect();
 
         let (layout2, procs2) = sifting_participants(n, seed);
-        let atomic_outputs: Vec<u64> = lockstep_over_atomic_memory(&layout2, procs2)
+        let atomic_outputs: Vec<u64> = run_lockstep(&layout2, procs2)
             .into_iter()
             .map(|p| p.input())
             .collect();
@@ -110,7 +76,7 @@ fn lockstep_matches_for_snapshot_conciliator_too() {
             .map(|p| p.input())
             .collect();
         let (layout2, procs2) = build(seed);
-        let atomic: Vec<u64> = lockstep_over_atomic_memory(&layout2, procs2)
+        let atomic: Vec<u64> = run_lockstep(&layout2, procs2)
             .into_iter()
             .map(|p| p.input())
             .collect();

@@ -1,0 +1,183 @@
+//! Linearizability of the threaded substrate: concurrent histories
+//! captured from `sift_shmem`'s objects must pass the Wing–Gong checker.
+//!
+//! This is the tooling for the Golab–Higham–Woelfel caveat (paper §2):
+//! the threaded runtime only stands in for the atomic model if its
+//! objects are linearizable, and here we actually check captured
+//! histories instead of taking the locks' word for it. Workloads are
+//! generated from the in-tree seeded RNG (the workspace is offline, so
+//! no property-testing crate; seeds make every failure reproducible) and
+//! run both free-threaded and in lockstep. A hand-built
+//! non-linearizable history keeps the checker itself honest.
+
+use sift::shmem::{run_lockstep_recorded, run_threads_recorded};
+use sift::sim::mc::{check_linearizable, History, HistoryEntry, ObjectKey};
+use sift::sim::rng::{SeedSplitter, Xoshiro256StarStar};
+use sift::sim::{
+    Layout, LayoutBuilder, MaxRegisterId, Op, OpResult, Process, ProcessId, RegisterId, SnapshotId,
+    Step,
+};
+
+/// A process that performs a pre-generated random operation sequence
+/// over a mixed layout, then returns how many ops it ran.
+#[derive(Clone)]
+struct RandomWorkload {
+    ops: Vec<Op<u64>>,
+    next: usize,
+}
+
+impl RandomWorkload {
+    fn generate(
+        rng: &mut Xoshiro256StarStar,
+        pid: ProcessId,
+        registers: &[RegisterId],
+        snapshot: SnapshotId,
+        max_regs: &[MaxRegisterId],
+        len: usize,
+    ) -> Self {
+        let ops = (0..len)
+            .map(|_| match rng.range_u64(6) {
+                0 => Op::RegisterRead(registers[rng.range_u64(registers.len() as u64) as usize]),
+                1 => Op::RegisterWrite(
+                    registers[rng.range_u64(registers.len() as u64) as usize],
+                    rng.next_u64() % 100,
+                ),
+                2 => Op::SnapshotUpdate(snapshot, pid.index(), rng.next_u64() % 100),
+                3 => Op::SnapshotScan(snapshot),
+                4 => Op::MaxRead(max_regs[rng.range_u64(max_regs.len() as u64) as usize]),
+                _ => Op::MaxWrite(
+                    max_regs[rng.range_u64(max_regs.len() as u64) as usize],
+                    rng.range_u64(8),
+                    rng.next_u64() % 100,
+                ),
+            })
+            .collect();
+        Self { ops, next: 0 }
+    }
+}
+
+impl Process for RandomWorkload {
+    type Value = u64;
+    type Output = usize;
+
+    fn step(&mut self, _prev: Option<OpResult<u64>>) -> Step<u64, usize> {
+        if self.next < self.ops.len() {
+            self.next += 1;
+            Step::Issue(self.ops[self.next - 1].clone())
+        } else {
+            Step::Done(self.ops.len())
+        }
+    }
+}
+
+fn mixed_instance(seed: u64, n: usize, ops_per_proc: usize) -> (Layout, Vec<RandomWorkload>) {
+    let mut b = LayoutBuilder::new();
+    let registers = b.registers(3);
+    let snapshot = b.snapshot(n);
+    let max_regs = b.max_registers(2);
+    let layout = b.build();
+    let split = SeedSplitter::new(seed);
+    let procs = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("workload", i as u64);
+            RandomWorkload::generate(
+                &mut rng,
+                ProcessId(i),
+                &registers,
+                snapshot,
+                &max_regs,
+                ops_per_proc,
+            )
+        })
+        .collect();
+    (layout, procs)
+}
+
+/// Free-running threads over `RecordingMemory`: every captured
+/// concurrent history must linearize. (A failure here would be a real
+/// atomicity bug in a `sift_shmem` object — exactly what this harness
+/// exists to catch.)
+#[test]
+fn threaded_histories_linearize() {
+    for seed in 0..20 {
+        let (layout, procs) = mixed_instance(seed, 4, 8);
+        let (report, history) = run_threads_recorded(&layout, procs);
+        assert_eq!(report.total_ops(), 4 * 8, "seed {seed}");
+        assert_eq!(history.len(), 4 * 8, "seed {seed}");
+        history
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// The lockstep driver produces sequential (point-interval) histories,
+/// which must trivially linearize in recording order.
+#[test]
+fn lockstep_histories_linearize() {
+    for seed in 0..10 {
+        let (layout, procs) = mixed_instance(seed, 5, 6);
+        let (outputs, history) = run_lockstep_recorded(&layout, procs);
+        assert_eq!(outputs, vec![6; 5], "seed {seed}");
+        history
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Negative control: a hand-built history in which a read returns the
+/// initial ⊥ *after* a write to the same register has completed. No
+/// sequential order explains it, and the checker must say so.
+#[test]
+fn seeded_non_linearizable_history_is_rejected() {
+    let mut b = LayoutBuilder::new();
+    let r = b.register();
+    let layout = b.build();
+    let history = History::from_entries(vec![
+        HistoryEntry {
+            pid: ProcessId(0),
+            op: Op::RegisterWrite(r, 42u64),
+            result: OpResult::Ack,
+            invoked: 0,
+            responded: 1,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::RegisterRead(r),
+            result: OpResult::RegisterValue(None),
+            invoked: 2,
+            responded: 3,
+        },
+    ]);
+    let err = check_linearizable(&layout, &history).unwrap_err();
+    assert_eq!(err.object, ObjectKey::Register(r));
+    assert!(err.to_string().contains("not linearizable"));
+}
+
+/// Second negative control on a max register: a read that "forgets" a
+/// completed higher-key write is rejected.
+#[test]
+fn non_linearizable_max_register_history_is_rejected() {
+    let mut b = LayoutBuilder::new();
+    let m = b.max_register();
+    let layout = b.build();
+    let history = History::from_entries(vec![
+        HistoryEntry {
+            pid: ProcessId(0),
+            op: Op::MaxWrite(m, 9, 90u64),
+            result: OpResult::Ack,
+            invoked: 0,
+            responded: 1,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::MaxRead(m),
+            result: OpResult::MaxValue(None),
+            invoked: 2,
+            responded: 3,
+        },
+    ]);
+    let err = check_linearizable(&layout, &history).unwrap_err();
+    assert_eq!(err.object, ObjectKey::MaxRegister(m));
+}
