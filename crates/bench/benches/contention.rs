@@ -1,0 +1,169 @@
+//! Multi-threaded contention benches: lock-free vs lock-based
+//! substrate objects under a mixed read/write load.
+//!
+//! Worker threads are spawned once per benchmark and coordinated with
+//! barriers; each measured iteration is one *round* in which every
+//! worker drives a fixed, interleaved operation sequence through one
+//! shared object. All workers start a round together, so the substrates
+//! see genuine sustained interference (not a spawn-staggered sequence
+//! of solo phases), and the reported per-iteration time is inversely
+//! proportional to 8-thread throughput. `just bench-json` runs this
+//! target with `SIFT_BENCH_JSON=BENCH_shmem.json` to refresh the
+//! tracked baseline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::thread;
+
+use sift_bench::microbench::{Bencher, Criterion};
+use sift_bench::{criterion_group, criterion_main};
+use sift_shmem::max_register::{LockFreeMaxRegister, LockMaxRegister};
+use sift_shmem::register::{LockFreeRegister, LockRegister};
+use sift_shmem::snapshot::{CoarseSnapshot, LockFreeSnapshot};
+
+/// Worker threads per benchmark.
+const THREADS: usize = 8;
+/// Operations per worker per round.
+const OPS: usize = 2048;
+/// One in this many operations is a write; the rest read. Protocols in
+/// this repository are scan-heavy — a process polls shared state at
+/// every step of a phase but publishes once per phase.
+const WRITE_EVERY: usize = 64;
+/// Snapshot components: one per simulated process, at the scale the
+/// experiment harness actually runs (max registers and registers are
+/// single cells).
+const COMPONENTS: usize = 128;
+
+/// Runs `op(thread, k)` for `OPS` values of `k` on each of [`THREADS`]
+/// persistent workers, once per measured iteration, with all workers
+/// released into the round together.
+fn bench_rounds(b: &mut Bencher, op: impl Fn(usize, usize) + Sync) {
+    let start = Barrier::new(THREADS + 1);
+    let end = Barrier::new(THREADS + 1);
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (start, end, stop, op) = (&start, &end, &stop, &op);
+            scope.spawn(move || loop {
+                start.wait();
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                for k in 0..OPS {
+                    op(t, k);
+                }
+                end.wait();
+            });
+        }
+        b.iter(|| {
+            start.wait();
+            end.wait();
+        });
+        // Release the workers from their final `start.wait`.
+        stop.store(true, Ordering::Relaxed);
+        start.wait();
+    });
+}
+
+fn bench_snapshot_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_contention");
+    group.bench_function("lockfree/t8", |b| {
+        let snap: LockFreeSnapshot<u64> = LockFreeSnapshot::new(COMPONENTS);
+        bench_rounds(b, |t, k| {
+            if k % WRITE_EVERY == 0 {
+                snap.update(t % COMPONENTS, (t * OPS + k) as u64);
+            } else {
+                std::hint::black_box(snap.scan());
+            }
+        });
+    });
+    group.bench_function("coarse/t8", |b| {
+        let snap: CoarseSnapshot<u64> = CoarseSnapshot::new(COMPONENTS);
+        bench_rounds(b, |t, k| {
+            if k % WRITE_EVERY == 0 {
+                snap.update(t % COMPONENTS, (t * OPS + k) as u64);
+            } else {
+                std::hint::black_box(snap.scan());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_register_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_contention");
+    group.bench_function("lockfree/t8", |b| {
+        let reg: LockFreeRegister<u64> = LockFreeRegister::new();
+        bench_rounds(b, |t, k| {
+            if k % WRITE_EVERY == 0 {
+                reg.write((t * OPS + k) as u64);
+            } else {
+                std::hint::black_box(reg.read());
+            }
+        });
+    });
+    group.bench_function("lock/t8", |b| {
+        let reg: LockRegister<u64> = LockRegister::new();
+        bench_rounds(b, |t, k| {
+            if k % WRITE_EVERY == 0 {
+                reg.write((t * OPS + k) as u64);
+            } else {
+                std::hint::black_box(reg.read());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_max_register_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_register_contention");
+    group.bench_function("lockfree/t8", |b| {
+        let max: LockFreeMaxRegister<u64> = LockFreeMaxRegister::new();
+        bench_rounds(b, |t, k| {
+            if k % WRITE_EVERY == 0 {
+                max.write((t * OPS + k) as u64, t as u64);
+            } else {
+                std::hint::black_box(max.read());
+            }
+        });
+    });
+    group.bench_function("lock/t8", |b| {
+        let max: LockMaxRegister<u64> = LockMaxRegister::new();
+        bench_rounds(b, |t, k| {
+            if k % WRITE_EVERY == 0 {
+                max.write((t * OPS + k) as u64, t as u64);
+            } else {
+                std::hint::black_box(max.read());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_quiescent_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quiescent_scan");
+    group.bench_function("lockfree/n128", |b| {
+        let snap: LockFreeSnapshot<u64> = LockFreeSnapshot::new(COMPONENTS);
+        for i in 0..COMPONENTS {
+            snap.update(i, i as u64);
+        }
+        b.iter(|| snap.scan());
+    });
+    group.bench_function("coarse/n128", |b| {
+        let snap: CoarseSnapshot<u64> = CoarseSnapshot::new(COMPONENTS);
+        for i in 0..COMPONENTS {
+            snap.update(i, i as u64);
+        }
+        b.iter(|| snap.scan());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_contention,
+    bench_register_contention,
+    bench_max_register_contention,
+    bench_quiescent_scan,
+);
+criterion_main!(benches);

@@ -6,26 +6,134 @@
 //! slice of its API the benches use (`benchmark_group`,
 //! `bench_function`, `bench_with_input`, `Bencher::iter`) backed by a
 //! plain warmup-then-measure wall-clock loop, printing one line per
-//! benchmark. Budgets are tunable with `SIFT_BENCH_MS` (measure window
-//! per benchmark, default 200).
+//! benchmark.
+//!
+//! Measurement splits each benchmark's budget into short batches and
+//! reports the **median** batch's per-iteration time, which shrugs off
+//! one-sided scheduling noise far better than a single long mean.
+//!
+//! Configuration is injected, not global: [`Criterion::with_budget`]
+//! takes the per-benchmark measure window directly (tests use this —
+//! nothing here mutates the process environment).
+//! [`Criterion::from_env`] (what [`criterion_group!`] uses) reads
+//!
+//! * `SIFT_BENCH_MS` — measure window per benchmark in ms, default 200;
+//! * `SIFT_BENCH_JSON` — if set, a path to which the run's results are
+//!   written as machine-readable JSON (one file per bench target; the
+//!   file is overwritten, so point different targets at different
+//!   paths or run one target per file). Cargo runs bench binaries with
+//!   the *package* directory as cwd, so pass an absolute path to land
+//!   the file somewhere predictable (`just bench-json` does).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (first path segment of the printed id).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median batch per-iteration time, in nanoseconds.
+    pub median_ns: f64,
+    /// Total measured iterations across all batches.
+    pub samples: u64,
+}
+
 /// Top-level handle mirroring `criterion::Criterion`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    budget: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_env()
+    }
 }
 
 impl Criterion {
+    /// Builds a harness with an explicit per-benchmark measure budget.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self {
+            budget,
+            results: Vec::new(),
+        }
+    }
+
+    /// Builds a harness configured from `SIFT_BENCH_MS` (default 200ms
+    /// per benchmark).
+    pub fn from_env() -> Self {
+        let ms = std::env::var("SIFT_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Self::with_budget(Duration::from_millis(ms))
+    }
+
     /// Starts a named group of benchmarks.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
         BenchGroup {
+            criterion: self,
             name: name.into(),
             sample_size: None,
         }
     }
+
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes results as JSON to the path named by `SIFT_BENCH_JSON`,
+    /// if that variable is set. Called by [`criterion_main!`] after all
+    /// groups run; harmless to call when the variable is absent.
+    pub fn write_json_if_requested(&self) {
+        let Ok(path) = std::env::var("SIFT_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        match std::fs::write(&path, results_to_json(&self.results)) {
+            Ok(()) => eprintln!("wrote {} bench results to {path}", self.results.len()),
+            Err(e) => eprintln!("failed to write bench json to {path}: {e}"),
+        }
+    }
+}
+
+/// Renders results as a stable, dependency-free JSON document.
+fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"group\": {}, \"id\": {}, \"median_ns\": {:.1}, \"samples\": {}}}{sep}\n",
+            json_string(&r.group),
+            json_string(&r.id),
+            r.median_ns,
+            r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A named benchmark id, mirroring `criterion::BenchmarkId`.
@@ -45,12 +153,13 @@ impl BenchmarkId {
 
 /// A group of related benchmarks sharing a name prefix.
 #[derive(Debug)]
-pub struct BenchGroup {
+pub struct BenchGroup<'a> {
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
 }
 
-impl BenchGroup {
+impl BenchGroup<'_> {
     /// Caps the number of measured samples (Criterion compatibility; the
     /// wall-clock budget usually binds first).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
@@ -64,9 +173,9 @@ impl BenchGroup {
         id: impl std::fmt::Display,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.criterion.budget, self.sample_size);
         f(&mut b);
-        b.report(&self.name, &id.to_string());
+        self.record(&id.to_string(), &b);
         self
     }
 
@@ -77,76 +186,96 @@ impl BenchGroup {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.criterion.budget, self.sample_size);
         f(&mut b, input);
-        b.report(&self.name, &id.id);
+        let id = id.id.clone();
+        self.record(&id, &b);
         self
+    }
+
+    fn record(&mut self, id: &str, b: &Bencher) {
+        if b.samples == 0 {
+            println!("{}/{id:<40} (not measured)", self.name);
+            return;
+        }
+        println!(
+            "{}/{id:<40} {:>12}/iter  ({} iters)",
+            self.name,
+            format_time(b.median_ns / 1e9),
+            b.samples
+        );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id: id.to_string(),
+            median_ns: b.median_ns,
+            samples: b.samples,
+        });
     }
 
     /// Ends the group (no-op; kept for API compatibility).
     pub fn finish(self) {}
 }
 
+/// Batches per measure budget; the reported figure is the median batch.
+const BATCHES: u32 = 15;
+
 /// Runs and times one benchmark body.
 #[derive(Debug)]
 pub struct Bencher {
+    budget: Duration,
     sample_cap: Option<usize>,
     samples: u64,
-    elapsed: Duration,
-}
-
-fn measure_budget() -> Duration {
-    let ms = std::env::var("SIFT_BENCH_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(200);
-    Duration::from_millis(ms)
+    median_ns: f64,
 }
 
 impl Bencher {
-    fn new(sample_cap: Option<usize>) -> Self {
+    fn new(budget: Duration, sample_cap: Option<usize>) -> Self {
         Self {
+            budget,
             sample_cap,
             samples: 0,
-            elapsed: Duration::ZERO,
+            median_ns: 0.0,
         }
     }
 
-    /// Calls `f` repeatedly — a short warmup, then measured iterations
+    /// Calls `f` repeatedly — a short warmup, then measured batches
     /// until the wall-clock budget (or the sample cap) is exhausted.
+    /// The recorded figure is the median batch's per-iteration time.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
-        let warmup_until = Instant::now() + measure_budget() / 10;
+        let warmup_until = Instant::now() + self.budget / 10;
         let mut warmups = 0u64;
         while Instant::now() < warmup_until || warmups < 2 {
             black_box(f());
             warmups += 1;
         }
-        let budget = measure_budget();
         let cap = self.sample_cap.map_or(u64::MAX, |c| c as u64);
-        let start = Instant::now();
-        let mut samples = 0u64;
-        while samples < cap {
-            black_box(f());
-            samples += 1;
-            if start.elapsed() >= budget {
+        let window = self.budget / BATCHES;
+        let mut batch_ns: Vec<f64> = Vec::with_capacity(BATCHES as usize);
+        let mut total: u64 = 0;
+        let overall_start = Instant::now();
+        'outer: for _ in 0..BATCHES {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                black_box(f());
+                iters += 1;
+                total += 1;
+                if start.elapsed() >= window {
+                    break;
+                }
+                if total >= cap {
+                    batch_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+                    break 'outer;
+                }
+            }
+            batch_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            if total >= cap || overall_start.elapsed() >= self.budget {
                 break;
             }
         }
-        self.samples = samples;
-        self.elapsed = start.elapsed();
-    }
-
-    fn report(&self, group: &str, id: &str) {
-        if self.samples == 0 {
-            println!("{group}/{id:<40} (not measured)");
-            return;
-        }
-        let per_iter = self.elapsed.as_secs_f64() / self.samples as f64;
-        println!(
-            "{group}/{id:<40} {:>12}/iter  ({} iters)",
-            format_time(per_iter),
-            self.samples
-        );
+        batch_ns.sort_by(|a, b| a.total_cmp(b));
+        self.samples = total;
+        self.median_ns = batch_ns[batch_ns.len() / 2];
     }
 }
 
@@ -167,20 +296,22 @@ fn format_time(secs: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
-        fn $name() {
-            let mut c = $crate::microbench::Criterion::default();
-            $($target(&mut c);)+
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $($target(c);)+
         }
     };
 }
 
 /// Mirrors `criterion::criterion_main!`: the entry point for a
-/// `harness = false` bench target.
+/// `harness = false` bench target. Writes the JSON results file if
+/// `SIFT_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($group:path) => {
         fn main() {
-            $group();
+            let mut c = $crate::microbench::Criterion::from_env();
+            $group(&mut c);
+            c.write_json_if_requested();
         }
     };
 }
@@ -191,8 +322,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_and_reports() {
-        std::env::set_var("SIFT_BENCH_MS", "5");
-        let mut c = Criterion::default();
+        let mut c = Criterion::with_budget(Duration::from_millis(5));
         let mut g = c.benchmark_group("test");
         g.sample_size(10);
         let mut runs = 0u64;
@@ -202,7 +332,39 @@ mod tests {
         });
         g.finish();
         assert!(runs >= 2);
-        std::env::remove_var("SIFT_BENCH_MS");
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].group, "test");
+        assert_eq!(results[0].id, "noop");
+        assert!(results[0].samples >= 1 && results[0].samples <= 10);
+        assert_eq!(results[1].id, "param/4");
+        assert!(results[1].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let results = vec![
+            BenchResult {
+                group: "g".into(),
+                id: "a/1".into(),
+                median_ns: 12.34,
+                samples: 100,
+            },
+            BenchResult {
+                group: "g".into(),
+                id: "quote\"d".into(),
+                median_ns: 5.0,
+                samples: 7,
+            },
+        ];
+        let json = results_to_json(&results);
+        assert!(json.contains("\"median_ns\": 12.3"));
+        assert!(json.contains("\"samples\": 100"));
+        assert!(json.contains("quote\\\"d"));
+        assert!(json.trim_end().ends_with('}'));
+        // Exactly one separator between the two entries, none after the
+        // last.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

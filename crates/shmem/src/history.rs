@@ -21,23 +21,39 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use sift_sim::mc::{History, HistoryEntry};
 use sift_sim::{Layout, Op, OpResult, ProcessId, Value};
 
-use crate::memory::AtomicMemory;
+use crate::memory::{AtomicMemory, ExecuteOps};
 use crate::sync::Mutex;
 
-/// An [`AtomicMemory`] that records every operation with
-/// invocation/response timestamps.
+/// An [`ExecuteOps`] memory (an [`AtomicMemory`] unless overridden)
+/// that records every operation with invocation/response timestamps.
+///
+/// The memory parameter makes the instrumentation reusable for
+/// differential and adversarial testing: wrap a
+/// [`LockFreeMemory`](crate::memory::LockFreeMemory) or
+/// [`CoarseMemory`](crate::memory::CoarseMemory) explicitly via
+/// [`over`](RecordingMemory::over), or wrap a deliberately broken
+/// memory to check that the linearizability checker rejects its
+/// histories.
 #[derive(Debug)]
-pub struct RecordingMemory<V> {
-    memory: AtomicMemory<V>,
+pub struct RecordingMemory<V, M = AtomicMemory<V>> {
+    memory: M,
     clock: AtomicU64,
     log: Mutex<Vec<HistoryEntry<V>>>,
 }
 
 impl<V: Value> RecordingMemory<V> {
-    /// Builds recording memory for `layout`.
+    /// Builds recording memory for `layout` over the default
+    /// [`AtomicMemory`] substrate.
     pub fn new(layout: &Layout) -> Self {
+        Self::over(AtomicMemory::new(layout))
+    }
+}
+
+impl<V: Value, M: ExecuteOps<V>> RecordingMemory<V, M> {
+    /// Wraps an existing memory in the recorder.
+    pub fn over(memory: M) -> Self {
         Self {
-            memory: AtomicMemory::new(layout),
+            memory,
             clock: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
         }

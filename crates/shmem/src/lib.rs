@@ -4,35 +4,46 @@
 //! runtime that drives the same [`Process`](sift_sim::Process) state
 //! machines on OS threads:
 //!
-//! * [`register::LockRegister`] / [`register::AtomicIndexRegister`] —
-//!   linearizable MWMR registers (lock-based for arbitrary values,
-//!   lock-free word-sized for index exchange via
-//!   [`persona_table::PersonaTable`]).
-//! * [`snapshot::CoarseSnapshot`] — lock-based linearizable snapshot.
-//! * [`snapshot::WaitFreeSnapshot`] — the Afek et al. wait-free snapshot
-//!   from single-writer registers (double collect + embedded-view
-//!   helping), the construction the paper's unit-cost accounting
-//!   abstracts away.
-//! * [`max_register::LockMaxRegister`] /
-//!   [`max_register::TreeMaxRegister`] — max registers, including the
-//!   switch-trie construction from monotone circuits (footnote 1's
-//!   object, built from plain bits).
+//! * [`register::LockFreeRegister`] / [`register::PackedRegister`] /
+//!   [`register::AtomicIndexRegister`] — lock-free linearizable MWMR
+//!   registers (pointer publication for arbitrary values, a single
+//!   `AtomicU64` for word-packable ones);
+//!   [`register::LockRegister`] is the lock-based reference.
+//! * [`snapshot::LockFreeSnapshot`] — lock-free snapshot: versioned
+//!   copy-on-write publication with `O(1)` wait-free scans.
+//!   [`snapshot::CoarseSnapshot`] is the lock-based reference;
+//!   [`snapshot::WaitFreeSnapshot`] is the Afek et al. construction
+//!   from single-writer registers, the one the paper's unit-cost
+//!   accounting abstracts away.
+//! * [`max_register::LockFreeMaxRegister`] — compare-exchange max
+//!   register; [`max_register::LockMaxRegister`] is the lock-based
+//!   reference and [`max_register::TreeMaxRegister`] the switch-trie
+//!   construction from monotone circuits (footnote 1's object, built
+//!   from plain bits).
 //! * [`indexed::IndexedMemory`] — lock-free execution of the
 //!   register-model protocols: personae are published once and
 //!   registers carry word-sized table indices.
 //! * [`memory::AtomicMemory`] + [`runtime::run_threads`] — instantiate a
 //!   protocol's [`Layout`](sift_sim::Layout) over these objects and run
-//!   its participants on threads.
+//!   its participants on threads. `AtomicMemory` uses the lock-free
+//!   objects; building with the `coarse-substrate` feature switches it
+//!   to the lock-based references for differential testing.
 //!
 //! Statistical claims are measured on the simulator, where the adversary
 //! is controlled; this crate shows the algorithms running on real
 //! atomics and provides the substrate for wall-clock benches.
+//!
+//! All `unsafe` in the crate lives in the private `lockfree` module
+//! (pointer publication with reader-gated reclamation); everything else
+//! forbids it.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod history;
 pub mod indexed;
+#[allow(unsafe_code)]
+mod lockfree;
 pub mod max_register;
 pub mod memory;
 pub mod persona_table;
@@ -43,8 +54,9 @@ pub mod sync;
 
 pub use history::RecordingMemory;
 pub use indexed::{run_threads_lock_free, IndexedMemory};
-pub use memory::AtomicMemory;
+pub use memory::{AtomicMemory, CoarseMemory, ExecuteOps, LockFreeMemory, ObjectMemory};
 pub use persona_table::PersonaTable;
 pub use runtime::{
-    run_lockstep, run_lockstep_recorded, run_threads, run_threads_recorded, ThreadReport,
+    run_lockstep, run_lockstep_on, run_lockstep_recorded, run_threads, run_threads_recorded,
+    ThreadReport,
 };

@@ -1,0 +1,118 @@
+//! Lock-free max register: a compare-exchange loop on a monotone key.
+
+use crate::lockfree::{Pile, Slot};
+
+use sift_sim::Value;
+
+/// A lock-free linearizable max register.
+///
+/// The current maximum lives in one publication slot. `write(key,
+/// value)` loads the current entry and, only if `key` strictly exceeds
+/// its key, tries to compare-exchange a new node in; a failed exchange
+/// re-reads and re-decides, so the published key sequence is strictly
+/// increasing along the slot's modification order (ties keep the first
+/// value, matching the simulator's
+/// [`MaxRegister`](sift_sim::max_register::MaxRegister)). `read` is a
+/// single guarded pointer load.
+///
+/// Linearization points: a kept write at its successful
+/// compare-exchange, a dropped write at the load that observed a key at
+/// least as large, a read at its pointer load. Writes are lock-free (a
+/// failed exchange means another write was published), reads are
+/// wait-free.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::max_register::LockFreeMaxRegister;
+/// let m = LockFreeMaxRegister::new();
+/// m.write(2, "low");
+/// m.write(9, "high");
+/// m.write(4, "dominated");
+/// assert_eq!(m.read(), Some((9, "high")));
+/// ```
+#[derive(Debug)]
+pub struct LockFreeMaxRegister<V: Value> {
+    pile: Pile<(u64, V)>,
+    slot: Slot<(u64, V)>,
+}
+
+impl<V: Value> LockFreeMaxRegister<V> {
+    /// Creates an empty max register.
+    pub fn new() -> Self {
+        Self {
+            pile: Pile::new(),
+            slot: Slot::new(),
+        }
+    }
+
+    /// Writes `(key, value)`, kept only if `key` exceeds the current
+    /// maximum.
+    pub fn write(&self, key: u64, value: V) {
+        let guard = self.pile.enter();
+        self.slot
+            .publish_max((key, value), &self.pile, &guard, |current| current.0 >= key);
+    }
+
+    /// Reads the current maximum entry.
+    pub fn read(&self) -> Option<(u64, V)> {
+        self.slot.read_cloned(&self.pile)
+    }
+}
+
+impl<V: Value> Default for LockFreeMaxRegister<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_maximum_and_first_on_tie() {
+        let m = LockFreeMaxRegister::new();
+        assert_eq!(m.read(), None);
+        m.write(5, 'a');
+        m.write(3, 'b');
+        m.write(7, 'c');
+        m.write(7, 'd');
+        assert_eq!(m.read(), Some((7, 'c')));
+    }
+
+    #[test]
+    fn concurrent_writes_keep_global_maximum_and_reads_are_monotone() {
+        let m = Arc::new(LockFreeMaxRegister::new());
+        let writers: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for k in 0..300 {
+                        m.write(t * 300 + k, (t, k));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..2000 {
+                        if let Some((key, (t, k))) = m.read() {
+                            assert_eq!(key, t * 300 + k, "entry is self-consistent");
+                            assert!(key >= last, "max went backwards: {last} -> {key}");
+                            last = key;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read(), Some((7 * 300 + 299, (7, 299))));
+    }
+}

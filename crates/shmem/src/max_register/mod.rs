@@ -1,7 +1,12 @@
 //! Max registers for real threads.
 //!
+//! * [`LockFreeMaxRegister`] — a compare-exchange loop on the monotone
+//!   key; what [`AtomicMemory`](crate::memory::AtomicMemory) uses by
+//!   default.
 //! * [`LockMaxRegister`] — a mutex-guarded compare-and-keep cell; the
-//!   direct analogue of the simulator's object.
+//!   direct analogue of the simulator's object, kept as the reference
+//!   implementation (the `coarse-substrate` feature switches the
+//!   runtime back to it for differential testing).
 //! * [`TreeMaxRegister`] — the Aspnes–Attiya–Censor-Hillel bounded max
 //!   register: a binary trie of atomic switch bits over the key space,
 //!   with values parked at the leaves. Reads and writes touch
@@ -10,7 +15,9 @@
 //!   plain shared bits.
 
 mod lock;
+mod lockfree;
 mod tree;
 
 pub use lock::LockMaxRegister;
+pub use lockfree::LockFreeMaxRegister;
 pub use tree::TreeMaxRegister;

@@ -1,8 +1,9 @@
 //! Linearizable multi-writer multi-reader registers for real threads.
 
+use crate::lockfree::{Pile, Slot};
 use crate::sync::RwLock;
 
-use sift_sim::Value;
+use sift_sim::{PackValue, Value};
 
 /// A linearizable MWMR register over any value type, built on a
 /// reader-writer lock.
@@ -43,6 +44,118 @@ impl<V: Value> LockRegister<V> {
     /// Writes `value`.
     pub fn write(&self, value: V) {
         *self.cell.write() = Some(value);
+    }
+}
+
+/// A lock-free MWMR register over any value type.
+///
+/// Writes publish an immutable heap node with a single pointer swap;
+/// reads dereference and clone under a reader guard. Both directions
+/// are lock-free (writes are in fact wait-free); displaced nodes are
+/// retired and reclaimed once the register is quiescent (see the
+/// `lockfree` module). The linearization point of a write is its swap,
+/// of a read its pointer load.
+///
+/// For word-sized values prefer [`PackedRegister`], which needs no
+/// allocation at all.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::register::LockFreeRegister;
+/// let r: LockFreeRegister<String> = LockFreeRegister::new();
+/// assert_eq!(r.read(), None);
+/// r.write("hello".to_string());
+/// assert_eq!(r.read(), Some("hello".to_string()));
+/// ```
+#[derive(Debug)]
+pub struct LockFreeRegister<V: Value> {
+    pile: Pile<V>,
+    slot: Slot<V>,
+}
+
+impl<V: Value> Default for LockFreeRegister<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> LockFreeRegister<V> {
+    /// Creates a register holding ⊥.
+    pub fn new() -> Self {
+        Self {
+            pile: Pile::new(),
+            slot: Slot::new(),
+        }
+    }
+
+    /// Reads the register (`None` is ⊥).
+    pub fn read(&self) -> Option<V> {
+        self.slot.read_cloned(&self.pile)
+    }
+
+    /// Writes `value` with a single pointer swap (wait-free).
+    pub fn write(&self, value: V) {
+        self.slot.store(value, &self.pile);
+    }
+}
+
+/// A wait-free MWMR register for word-packable values (`None` is ⊥).
+///
+/// The value is packed into an `AtomicU64` ([`PackValue`] keeps
+/// `pack()` below `u64::MAX`, so `u64::MAX` encodes ⊥): reads are one
+/// atomic load, writes one atomic store — the configuration closest to
+/// the paper's model on real hardware, with no allocation anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::register::PackedRegister;
+/// let r: PackedRegister<u32> = PackedRegister::new();
+/// assert_eq!(r.read(), None);
+/// r.write(7);
+/// assert_eq!(r.read(), Some(7));
+/// ```
+#[derive(Debug)]
+pub struct PackedRegister<V> {
+    cell: std::sync::atomic::AtomicU64,
+    _marker: std::marker::PhantomData<V>,
+}
+
+/// The word reserved for ⊥ in [`PackedRegister`].
+const BOTTOM: u64 = u64::MAX;
+
+impl<V: PackValue> PackedRegister<V> {
+    /// Creates a register holding ⊥.
+    pub fn new() -> Self {
+        Self {
+            cell: std::sync::atomic::AtomicU64::new(BOTTOM),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reads the register with one atomic load.
+    pub fn read(&self) -> Option<V> {
+        match self.cell.load(std::sync::atomic::Ordering::SeqCst) {
+            BOTTOM => None,
+            word => Some(V::unpack(word)),
+        }
+    }
+
+    /// Writes `value` with one atomic store.
+    pub fn write(&self, value: V) {
+        let word = value.pack();
+        debug_assert_ne!(word, BOTTOM, "PackValue must stay below u64::MAX");
+        self.cell.store(word, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl<V> Default for PackedRegister<V>
+where
+    V: PackValue,
+{
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -132,6 +245,57 @@ mod tests {
         }
         let v = r.read().expect("someone wrote");
         assert!(v < 8);
+    }
+
+    #[test]
+    fn lock_free_register_round_trip() {
+        let r: LockFreeRegister<String> = LockFreeRegister::new();
+        assert_eq!(r.read(), None);
+        r.write("a".to_string());
+        r.write("b".to_string());
+        assert_eq!(r.read(), Some("b".to_string()));
+    }
+
+    #[test]
+    fn packed_register_round_trip() {
+        let r: PackedRegister<u32> = PackedRegister::new();
+        assert_eq!(r.read(), None);
+        r.write(0);
+        assert_eq!(r.read(), Some(0), "0 must be distinguishable from ⊥");
+        r.write(u32::MAX);
+        assert_eq!(r.read(), Some(u32::MAX));
+    }
+
+    #[test]
+    fn concurrent_lock_free_writers_leave_some_written_value() {
+        let r = Arc::new(LockFreeRegister::new());
+        let writers: Vec<_> = (0..8u64)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for k in 0..500 {
+                        r.write((i, k));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        if let Some((i, k)) = r.read() {
+                            assert!(i < 8 && k < 500, "read a torn or foreign value");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        let (_, k) = r.read().expect("someone wrote");
+        assert_eq!(k, 499, "final value is some writer's last write");
     }
 
     #[test]

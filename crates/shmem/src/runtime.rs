@@ -164,7 +164,19 @@ where
 /// same discipline — outputs must match a simulator run under
 /// [`RoundRobin`] exactly, which `tests/cross_runtime.rs` verifies.
 pub fn run_lockstep<P: Process>(layout: &Layout, processes: Vec<P>) -> Vec<P::Output> {
-    let memory = AtomicMemory::new(layout);
+    run_lockstep_on(&AtomicMemory::new(layout), processes)
+}
+
+/// [`run_lockstep`] against a caller-provided memory — any
+/// [`ExecuteOps`](crate::memory::ExecuteOps) implementation. This is
+/// what differential tests use to drive the *same* deterministic
+/// schedule through both substrates (e.g.
+/// [`LockFreeMemory`](crate::memory::LockFreeMemory) versus
+/// [`CoarseMemory`](crate::memory::CoarseMemory)) and compare outcomes.
+pub fn run_lockstep_on<P: Process, M: crate::memory::ExecuteOps<P::Value>>(
+    memory: &M,
+    processes: Vec<P>,
+) -> Vec<P::Output> {
     drive_lockstep(processes, |_, op| memory.execute(op))
 }
 

@@ -21,6 +21,9 @@ use sift_sim::{ScanView, Value};
 #[derive(Debug)]
 pub struct CoarseSnapshot<V> {
     components: RwLock<Vec<Option<V>>>,
+    /// Component count, fixed at construction — kept outside the lock
+    /// so `len`/`is_empty` never contend with writers.
+    len: usize,
 }
 
 impl<V: Value> CoarseSnapshot<V> {
@@ -28,17 +31,18 @@ impl<V: Value> CoarseSnapshot<V> {
     pub fn new(len: usize) -> Self {
         Self {
             components: RwLock::new(vec![None; len]),
+            len,
         }
     }
 
-    /// Number of components.
+    /// Number of components (lock-free: fixed at construction).
     pub fn len(&self) -> usize {
-        self.components.read().len()
+        self.len
     }
 
     /// Returns `true` if the object has zero components.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Sets component `component` to `value`.

@@ -1,0 +1,280 @@
+//! Lock-free snapshot via versioned copy-on-write publication.
+//!
+//! The whole object state lives behind **one** publication [`Slot`]
+//! holding an immutable [`VersionedState`]: a monotone version number
+//! plus an `Arc`-backed component vector. The two operations are then
+//! almost embarrassingly simple:
+//!
+//! * **scan** is one guarded pointer load plus one `Arc` refcount
+//!   increment — `O(1)`, wait-free, and *interference-immune*: the
+//!   loaded state is coherent by construction no matter how many
+//!   updates are in flight, so there is nothing to retry;
+//! * **update** clones the current component vector (`O(n)`
+//!   copy-on-write — component counts here are process counts, tens to
+//!   a few hundred words), writes its component, and publishes the new
+//!   state with a compare-exchange, rebuilding from the freshest state
+//!   on every conflict. Lock-free: a failed CAS is another update's
+//!   success.
+//!
+//! # Why not an optimistic double collect?
+//!
+//! The classic alternative keeps one slot per component (updates are
+//! then `O(1)`) and has scans retry a collect of all `n` pointers until
+//! two consecutive collects agree, escalating to updater *helping*
+//! under interference — [`WaitFreeSnapshot`](super::WaitFreeSnapshot)
+//! is exactly that construction and remains in the crate as the
+//! theory-faithful reference. As a *performance* substrate it is the
+//! wrong trade: with 8 threads mixing scans and updates, the aggregate
+//! update inter-arrival time drops to roughly the duration of a single
+//! collect, so clean double collects become vanishingly rare and every
+//! scan pays the helping path (measured: 7–12× *slower* than the
+//! lock-based [`CoarseSnapshot`](super::CoarseSnapshot) at 1-in-8
+//! writes). Versioned publication moves the `O(n)` cost onto the
+//! update, where the protocols in this repository — which scan at
+//! every step but publish comparatively rarely — can afford it, and
+//! makes scan latency completely independent of update traffic.
+//!
+//! Memory reclamation (displaced states, and the ABA-safety of the
+//! pointer CAS) is inherited from the [`Pile`] reader gates — see the
+//! [`lockfree`](crate::lockfree) module docs.
+
+use std::sync::Arc;
+
+use crate::lockfree::{Pile, Slot};
+
+use sift_sim::{ScanView, Value};
+
+/// One immutable published state: the version is the number of updates
+/// that ever succeeded, the vector is the component array after them.
+#[derive(Debug)]
+struct VersionedState<V> {
+    version: u64,
+    components: Arc<Vec<Option<V>>>,
+}
+
+/// A lock-free linearizable snapshot object.
+///
+/// See the [module docs](self) for the algorithm and the comparison
+/// with [`CoarseSnapshot`](super::CoarseSnapshot) (the lock-based
+/// reference implementation, selected by the `coarse-substrate`
+/// feature).
+///
+/// Linearization points:
+///
+/// * *update* — its successful compare-exchange on the root pointer:
+///   the published state contains every earlier update (the candidate
+///   was rebuilt from the pointer the CAS then displaced) and becomes
+///   visible to every later load atomically;
+/// * *scan* — its root pointer load: the returned view *is* the
+///   complete state the object had at that instant.
+///
+/// Because the root pointer is the entire object, linearizability is
+/// immediate — the operations literally execute in the order of their
+/// atomic accesses to one location.
+///
+/// # Examples
+///
+/// ```
+/// use sift_shmem::snapshot::LockFreeSnapshot;
+/// let snap: LockFreeSnapshot<u32> = LockFreeSnapshot::new(3);
+/// snap.update(1, 7);
+/// let view = snap.scan();
+/// assert_eq!(&view[..], &[None, Some(7), None]);
+/// ```
+#[derive(Debug)]
+pub struct LockFreeSnapshot<V: Value> {
+    root: Slot<VersionedState<V>>,
+    pile: Pile<VersionedState<V>>,
+    /// Component count, cached so `len` needs no guard.
+    components: usize,
+}
+
+impl<V: Value> LockFreeSnapshot<V> {
+    /// Creates a snapshot object with `components` components, all ⊥.
+    pub fn new(components: usize) -> Self {
+        let snap = Self {
+            root: Slot::new(),
+            pile: Pile::new(),
+            components,
+        };
+        snap.root.store(
+            VersionedState {
+                version: 0,
+                components: Arc::new(vec![None; components]),
+            },
+            &snap.pile,
+        );
+        snap
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components
+    }
+
+    /// Returns `true` if the object has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components == 0
+    }
+
+    /// Atomically replaces component `component` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `component` is out of range.
+    pub fn update(&self, component: usize, value: V) {
+        assert!(
+            component < self.components,
+            "component {component} out of range for {}-component snapshot",
+            self.components
+        );
+        let guard = self.pile.enter();
+        self.root.publish_with(&self.pile, &guard, |current| {
+            let current = current.expect("root state is published at construction");
+            let mut components = Vec::clone(&current.components);
+            components[component] = Some(value.clone());
+            VersionedState {
+                version: current.version + 1,
+                components: Arc::new(components),
+            }
+        });
+    }
+
+    /// Atomically scans the object: `O(1)`, wait-free, regardless of
+    /// concurrent update traffic.
+    pub fn scan(&self) -> ScanView<V> {
+        let guard = self.pile.enter();
+        let state = self
+            .root
+            .load(&guard)
+            .expect("root state is published at construction");
+        ScanView::from_arc(Arc::clone(&state.components))
+    }
+
+    /// The number of updates that have linearized so far.
+    pub fn version(&self) -> u64 {
+        let guard = self.pile.enter();
+        self.root
+            .load(&guard)
+            .expect("root state is published at construction")
+            .version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_scan_is_all_bottom() {
+        let snap: LockFreeSnapshot<u32> = LockFreeSnapshot::new(4);
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.version(), 0);
+        let view = snap.scan();
+        assert_eq!(&view[..], &[None, None, None, None]);
+    }
+
+    #[test]
+    fn update_then_scan_round_trip() {
+        let snap = LockFreeSnapshot::new(3);
+        snap.update(0, 10u64);
+        snap.update(2, 30);
+        let view = snap.scan();
+        assert_eq!(&view[..], &[Some(10), None, Some(30)]);
+        snap.update(0, 11);
+        assert_eq!(&snap.scan()[..], &[Some(11), None, Some(30)]);
+        assert_eq!(snap.version(), 3);
+    }
+
+    #[test]
+    fn quiescent_scans_share_one_vector() {
+        let snap = LockFreeSnapshot::new(2);
+        snap.update(0, 1u32);
+        let first = snap.scan();
+        let second = snap.scan();
+        assert!(
+            Arc::ptr_eq(first.as_arc(), second.as_arc()),
+            "scans of an unchanged state must share the published vector"
+        );
+        snap.update(1, 2);
+        let third = snap.scan();
+        assert!(!Arc::ptr_eq(first.as_arc(), third.as_arc()));
+        // The earlier view is immutable even after the update.
+        assert_eq!(&first[..], &[Some(1), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        let snap = LockFreeSnapshot::new(2);
+        snap.update(2, 1u32);
+    }
+
+    #[test]
+    fn version_counts_every_successful_update() {
+        let snap = Arc::new(LockFreeSnapshot::new(4));
+        let handles: Vec<_> = (0..4usize)
+            .map(|c| {
+                let snap = Arc::clone(&snap);
+                std::thread::spawn(move || {
+                    for k in 0..250u64 {
+                        snap.update(c, k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // No update may be lost to a CAS conflict.
+        assert_eq!(snap.version(), 4 * 250);
+        assert_eq!(&snap.scan()[..], &[Some(249); 4]);
+    }
+
+    #[test]
+    fn concurrent_scans_never_observe_regressions() {
+        // Single writer per component; each writes an increasing
+        // counter. Any atomic view must be component-wise monotone
+        // w.r.t. previously observed views.
+        let snap = Arc::new(LockFreeSnapshot::new(4));
+        let writers: Vec<_> = (0..4usize)
+            .map(|c| {
+                let snap = Arc::clone(&snap);
+                std::thread::spawn(move || {
+                    for k in 0..400u64 {
+                        snap.update(c, k);
+                    }
+                })
+            })
+            .collect();
+        let scanners: Vec<_> = (0..4)
+            .map(|_| {
+                let snap = Arc::clone(&snap);
+                std::thread::spawn(move || {
+                    let mut seen = [None::<u64>; 4];
+                    for _ in 0..400 {
+                        let view = snap.scan();
+                        for (c, slot) in view.iter().enumerate() {
+                            match (seen[c], *slot) {
+                                (Some(old), None) => {
+                                    panic!("component {c} regressed from {old} to ⊥")
+                                }
+                                (Some(old), Some(new)) => {
+                                    assert!(new >= old, "component {c}: {old} -> {new}");
+                                    seen[c] = Some(new);
+                                }
+                                (None, new) => seen[c] = new,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(scanners) {
+            h.join().unwrap();
+        }
+        assert_eq!(&snap.scan()[..], &[Some(399); 4]);
+    }
+}

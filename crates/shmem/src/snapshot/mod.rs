@@ -1,10 +1,15 @@
 //! Snapshot objects for real threads.
 //!
-//! Two implementations of the same linearizable scan/update interface:
+//! Three implementations of the same linearizable scan/update interface:
 //!
+//! * [`LockFreeSnapshot`] — optimistic double collect over lock-free
+//!   publication cells, with an `O(1)` cached-view fast path for
+//!   quiescent scans and a bounded helping fallback under sustained
+//!   interference. What the runtime uses by default.
 //! * [`CoarseSnapshot`] — a reader-writer lock around the component
-//!   vector. Simple, linearizable, and what the runtime uses by
-//!   default.
+//!   vector. Simple and obviously linearizable; kept as the reference
+//!   implementation (the `coarse-substrate` feature switches the
+//!   runtime back to it for differential testing and benchmarking).
 //! * [`WaitFreeSnapshot`] — the classic Afek et al. construction from
 //!   single-writer registers (double collect with embedded-scan
 //!   helping). Built here to demonstrate that the model's snapshot
@@ -14,7 +19,9 @@
 //!   simulator's `CostModel::RegisterImplemented` charges).
 
 mod coarse;
+mod lockfree;
 mod waitfree;
 
 pub use coarse::CoarseSnapshot;
+pub use lockfree::LockFreeSnapshot;
 pub use waitfree::WaitFreeSnapshot;

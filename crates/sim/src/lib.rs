@@ -80,7 +80,7 @@ pub use memory::{CostModel, Memory};
 pub use metrics::Metrics;
 pub use op::{Op, OpKind, OpResult, ScanView};
 pub use process::{Process, Step};
-pub use value::Value;
+pub use value::{PackValue, Value};
 
 // Compile-time audit that everything a parallel trial executor shares
 // across worker threads (layouts, schedules, metrics, seeds) is

@@ -21,6 +21,11 @@ tier1:
     cargo build --release
     cargo test -q --workspace
 
+# The whole suite again with AtomicMemory aliased to the lock-based
+# reference objects (differential coverage of the substrate swap).
+test-coarse:
+    cargo test -q --workspace --features coarse-substrate
+
 # Prove the executor is thread-count invariant: the determinism test
 # suite, then a byte-for-byte diff of exp_all at 1 vs 4 threads.
 determinism:
@@ -44,7 +49,7 @@ mc-full:
     cargo test --release --test exhaustive --test linearizability --test mc_replay -- --include-ignored
 
 # Everything CI runs.
-ci: fmt-check clippy tier1 mc determinism
+ci: fmt-check clippy tier1 test-coarse mc determinism
 
 # Regenerate the recorded experiment output (uses all cores).
 experiments:
@@ -53,3 +58,9 @@ experiments:
 # In-tree microbenchmarks.
 bench:
     cargo bench -p sift-bench
+
+# Refresh the tracked contention baseline: runs the contention bench
+# and writes per-benchmark medians to BENCH_shmem.json at the repo
+# root. Raise SIFT_BENCH_MS for a steadier baseline on a quiet machine.
+bench-json:
+    SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_shmem.json cargo bench -p sift-bench --bench contention

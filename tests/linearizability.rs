@@ -93,6 +93,113 @@ fn mixed_instance(seed: u64, n: usize, ops_per_proc: usize) -> (Layout, Vec<Rand
     (layout, procs)
 }
 
+/// A workload touching exactly one primitive, for focused histories of
+/// each lock-free object in isolation.
+fn focused_workload(
+    rng: &mut Xoshiro256StarStar,
+    pid: ProcessId,
+    layout_op: impl Fn(&mut Xoshiro256StarStar, ProcessId) -> Op<u64>,
+    len: usize,
+) -> RandomWorkload {
+    let ops = (0..len).map(|_| layout_op(rng, pid)).collect();
+    RandomWorkload { ops, next: 0 }
+}
+
+/// Threaded histories of the lock-free register alone must linearize.
+#[test]
+fn threaded_register_histories_linearize() {
+    for seed in 0..10 {
+        let mut b = LayoutBuilder::new();
+        let regs = b.registers(2);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut rng = split.stream("reg", i as u64);
+                focused_workload(
+                    &mut rng,
+                    ProcessId(i),
+                    |rng, _| {
+                        let r = regs[rng.range_u64(regs.len() as u64) as usize];
+                        if rng.range_u64(2) == 0 {
+                            Op::RegisterRead(r)
+                        } else {
+                            Op::RegisterWrite(r, rng.next_u64() % 50)
+                        }
+                    },
+                    8,
+                )
+            })
+            .collect();
+        let (_, history) = run_threads_recorded(&layout, procs);
+        history.check_well_formed().unwrap();
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Threaded histories of the lock-free snapshot alone must linearize.
+#[test]
+fn threaded_snapshot_histories_linearize() {
+    for seed in 0..10 {
+        let mut b = LayoutBuilder::new();
+        let snap = b.snapshot(4);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut rng = split.stream("snap", i as u64);
+                focused_workload(
+                    &mut rng,
+                    ProcessId(i),
+                    |rng, pid| {
+                        if rng.range_u64(2) == 0 {
+                            Op::SnapshotScan(snap)
+                        } else {
+                            Op::SnapshotUpdate(snap, pid.index(), rng.next_u64() % 50)
+                        }
+                    },
+                    8,
+                )
+            })
+            .collect();
+        let (_, history) = run_threads_recorded(&layout, procs);
+        history.check_well_formed().unwrap();
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Threaded histories of the lock-free max register alone must
+/// linearize.
+#[test]
+fn threaded_max_register_histories_linearize() {
+    for seed in 0..10 {
+        let mut b = LayoutBuilder::new();
+        let m = b.max_register();
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut rng = split.stream("max", i as u64);
+                focused_workload(
+                    &mut rng,
+                    ProcessId(i),
+                    |rng, _| {
+                        if rng.range_u64(2) == 0 {
+                            Op::MaxRead(m)
+                        } else {
+                            Op::MaxWrite(m, rng.range_u64(10), rng.next_u64() % 50)
+                        }
+                    },
+                    8,
+                )
+            })
+            .collect();
+        let (_, history) = run_threads_recorded(&layout, procs);
+        history.check_well_formed().unwrap();
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
 /// Free-running threads over `RecordingMemory`: every captured
 /// concurrent history must linearize. (A failure here would be a real
 /// atomicity bug in a `sift_shmem` object — exactly what this harness
@@ -153,6 +260,64 @@ fn seeded_non_linearizable_history_is_rejected() {
     let err = check_linearizable(&layout, &history).unwrap_err();
     assert_eq!(err.object, ObjectKey::Register(r));
     assert!(err.to_string().contains("not linearizable"));
+}
+
+/// A deliberately broken register memory: reads *tear*, combining the
+/// high half of the latest write with the low half of the one before
+/// it — the classic failure a non-atomic multi-word register exhibits.
+/// Wrapped in `RecordingMemory::over`, it proves the checker catches a
+/// realistically broken substrate, not just hand-built histories.
+#[derive(Debug, Default)]
+struct TornRegisterMemory {
+    state: std::sync::Mutex<(Option<u64>, Option<u64>)>,
+}
+
+impl sift::shmem::ExecuteOps<u64> for TornRegisterMemory {
+    fn execute(&self, op: Op<u64>) -> OpResult<u64> {
+        let mut state = self.state.lock().unwrap();
+        match op {
+            Op::RegisterWrite(_, v) => {
+                state.0 = state.1.replace(v);
+                OpResult::Ack
+            }
+            Op::RegisterRead(_) => OpResult::RegisterValue(match *state {
+                (Some(prev), Some(cur)) => {
+                    Some((cur & 0xFFFF_FFFF_0000_0000) | (prev & 0x0000_0000_FFFF_FFFF))
+                }
+                (_, cur) => cur,
+            }),
+            other => unimplemented!("torn memory only models registers, got {other:?}"),
+        }
+    }
+}
+
+/// Seeded torn-write histories must be rejected: after two writes with
+/// distinct halves, a read observes a value that was never written, and
+/// no linearization order can explain it.
+#[test]
+fn seeded_torn_write_histories_are_rejected() {
+    use sift::shmem::RecordingMemory;
+    for seed in 0..8u64 {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let layout = b.build();
+        let mem = RecordingMemory::over(TornRegisterMemory::default());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        // Writes are (k << 32) | k for distinct non-zero k: any torn
+        // combination of two different writes is a value never written.
+        let writes = 2 + rng.range_u64(4);
+        for i in 0..writes {
+            let k = 1 + seed * 100 + i * (1 + rng.range_u64(5));
+            mem.execute_as(ProcessId(0), Op::RegisterWrite(r, (k << 32) | k))
+                .expect_ack();
+        }
+        mem.execute_as(ProcessId(1), Op::RegisterRead(r));
+        let history = mem.into_history();
+        history.check_well_formed().unwrap();
+        let err =
+            check_linearizable(&layout, &history).expect_err("torn read must not be linearizable");
+        assert_eq!(err.object, ObjectKey::Register(r), "seed {seed}");
+    }
 }
 
 /// Second negative control on a max register: a read that "forgets" a
