@@ -7,4 +7,5 @@ fn main() {
         t.print();
     }
     eprintln!("total time: {:.1?}", start.elapsed());
+    sift_bench::cli::finish();
 }

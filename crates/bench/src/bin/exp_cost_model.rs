@@ -4,4 +4,5 @@ fn main() {
     for t in sift_bench::experiments::cost_model::run() {
         t.print();
     }
+    sift_bench::cli::finish();
 }

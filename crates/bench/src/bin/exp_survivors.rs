@@ -7,4 +7,5 @@ fn main() {
     for t in sift_bench::experiments::survivors::sifting_conciliator() {
         t.print();
     }
+    sift_bench::cli::finish();
 }

@@ -8,15 +8,18 @@
 //! * `--trials N` — trial count scale (`SIFT_TRIALS`).
 //! * `--seed N` — master seed for per-trial seed derivation
 //!   (`SIFT_SEED`).
+//! * `--obs-json PATH` — collect per-trial observations and write them
+//!   as JSON on exit (`SIFT_OBS_JSON`); see [`crate::obs`].
 
 use crate::exec;
 
 const USAGE: &str = "\
 Options:
-  --threads N   worker threads (default: available parallelism; env SIFT_THREADS)
-  --trials N    trials per configuration (env SIFT_TRIALS)
-  --seed N      master seed, 0 = historical seed layout (env SIFT_SEED)
-  -h, --help    print this help\
+  --threads N     worker threads (default: available parallelism; env SIFT_THREADS)
+  --trials N      trials per configuration (env SIFT_TRIALS)
+  --seed N        master seed, 0 = historical seed layout (env SIFT_SEED)
+  --obs-json PATH write merged trial observations as JSON (env SIFT_OBS_JSON)
+  -h, --help      print this help\
 ";
 
 /// Parses the standard experiment flags from `std::env::args` and
@@ -25,8 +28,20 @@ Options:
 /// Exits with usage on `-h`/`--help` or an unknown flag; panics on a
 /// malformed value (same contract as the env knobs).
 pub fn init() {
+    // Env first so the flag wins by overwriting.
+    if let Ok(path) = std::env::var("SIFT_OBS_JSON") {
+        if !path.is_empty() {
+            crate::obs::set_output(path);
+        }
+    }
     let argv: Vec<String> = std::env::args().collect();
     apply(&argv[1..]);
+}
+
+/// Writes the `--obs-json` observation file, if one was requested.
+/// Call last in every `exp_*` `main`.
+pub fn finish() {
+    crate::obs::finish();
 }
 
 fn apply(args: &[String]) {
@@ -37,6 +52,13 @@ fn apply(args: &[String]) {
             "-h" | "--help" => {
                 println!("usage: {} [options]\n{USAGE}", bin_name());
                 std::process::exit(0);
+            }
+            "--obs-json" => {
+                let value = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} requires a value\n{USAGE}"));
+                crate::obs::set_output(value);
+                i += 2;
             }
             "--threads" | "--trials" | "--seed" => {
                 let value = args

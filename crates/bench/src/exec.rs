@@ -87,6 +87,16 @@ impl<T> Merge for Vec<T> {
     }
 }
 
+/// Per-trial step accounting rides the executor's shared merge path by
+/// delegating to [`Metrics::merge`] — the one element-wise summing
+/// implementation, so the simulator's aggregation and the harness's
+/// cannot drift apart.
+impl Merge for sift_sim::Metrics {
+    fn merge(&mut self, other: Self) {
+        sift_sim::Metrics::merge(self, &other);
+    }
+}
+
 impl<A: Merge> Merge for Option<A> {
     fn merge(&mut self, other: Self) {
         match (self.as_mut(), other) {
@@ -503,6 +513,30 @@ mod tests {
         });
         set_threads(0);
         assert!(result.is_err(), "in-trial panic must propagate");
+    }
+
+    #[test]
+    fn metrics_ride_the_shared_merge_path() {
+        let _guard = override_lock();
+        let run_at = |threads: usize| {
+            set_threads(threads);
+            let batch = Batch::new(8, 40, ScheduleKind::RoundRobin);
+            let agg = batch.run(
+                |b| SiftingConciliator::allocate(b, 8, Epsilon::HALF),
+                sift_sim::Metrics::default,
+                |m: &mut sift_sim::Metrics, t| Merge::merge(m, t.metrics),
+            );
+            set_threads(0);
+            agg
+        };
+        let serial = run_at(1);
+        let parallel = run_at(4);
+        assert_eq!(
+            serial, parallel,
+            "Metrics merge must be thread-count invariant"
+        );
+        assert!(serial.total_steps > 0);
+        assert_eq!(serial.total_ops, serial.ops_by_kind.iter().sum::<u64>());
     }
 
     #[test]

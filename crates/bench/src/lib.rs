@@ -13,6 +13,7 @@ pub mod cli;
 pub mod exec;
 pub mod experiments;
 pub mod microbench;
+pub mod obs;
 pub mod runner;
 pub mod stats;
 pub mod table;

@@ -102,6 +102,25 @@ impl Criterion {
             Err(e) => eprintln!("failed to write bench json to {path}: {e}"),
         }
     }
+
+    /// Writes the observation report — the substrate's contention
+    /// counters plus anything recorded through [`crate::obs`] — to the
+    /// path named by `SIFT_BENCH_OBS_JSON`, if set. The `substrate.*`
+    /// values are all zero unless the build carries the `obs` feature
+    /// (`just bench-obs` turns both on). Called by [`criterion_main!`]
+    /// after all groups run.
+    pub fn write_obs_json_if_requested(&self) {
+        let Ok(path) = std::env::var("SIFT_BENCH_OBS_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        match crate::obs::write_json(std::path::Path::new(&path)) {
+            Ok(()) => eprintln!("wrote bench observations to {path}"),
+            Err(e) => eprintln!("failed to write bench observations to {path}: {e}"),
+        }
+    }
 }
 
 /// Renders results as a stable, dependency-free JSON document.
@@ -304,7 +323,8 @@ macro_rules! criterion_group {
 
 /// Mirrors `criterion::criterion_main!`: the entry point for a
 /// `harness = false` bench target. Writes the JSON results file if
-/// `SIFT_BENCH_JSON` is set.
+/// `SIFT_BENCH_JSON` is set and the observation report if
+/// `SIFT_BENCH_OBS_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($group:path) => {
@@ -312,6 +332,7 @@ macro_rules! criterion_main {
             let mut c = $crate::microbench::Criterion::from_env();
             $group(&mut c);
             c.write_json_if_requested();
+            c.write_obs_json_if_requested();
         }
     };
 }

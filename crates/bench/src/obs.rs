@@ -1,0 +1,274 @@
+//! Harness-side observation collection behind `--obs-json`.
+//!
+//! When enabled (by the `--obs-json` flag, the `SIFT_OBS_JSON`
+//! environment variable, or [`enable`]), every trial that flows through
+//! [`runner`](crate::runner) folds its step accounting into a
+//! process-global [`ObsReport`]; [`collect`] additionally folds in the
+//! substrate's contention counters
+//! ([`sift_shmem::obs::snapshot`]), and [`finish`] writes the merged
+//! report as JSON. Disabled (the default), recording is a single
+//! relaxed atomic load per trial.
+//!
+//! # Determinism
+//!
+//! Worker threads record trials in completion order, which varies with
+//! `SIFT_THREADS` — but [`ObsReport::merge`] is commutative and
+//! associative (property-tested in `sift-obs`), the trial set itself
+//! depends only on `(master_seed, trial_index)`, and every value
+//! recorded here is an integer, so the merged report — and its JSON
+//! rendering — is byte-identical at any thread count. (Substrate
+//! counters are genuinely schedule-dependent; they are all zero unless
+//! the substrate was built with the `obs` feature, which the
+//! determinism suite does not enable.)
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use sift_obs::ObsReport;
+use sift_sim::Metrics;
+
+use crate::runner::Trial;
+use sift_sim::StopReason;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: Mutex<Option<ObsReport>> = Mutex::new(None);
+static OUTPUT: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Counter names per op kind, indexed by
+/// [`sift_sim::metrics::op_kind_index`].
+const OP_NAMES: [&str; 6] = [
+    "register_read",
+    "register_write",
+    "snapshot_update",
+    "snapshot_scan",
+    "max_read",
+    "max_write",
+];
+
+/// Turns trial recording on and clears previously collected
+/// observations (including the substrate's counters, so one process
+/// can take several measurement windows).
+pub fn enable() {
+    *COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()) = Some(ObsReport::new());
+    sift_shmem::obs::reset();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether trial recording is on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Enables recording and registers `path` as the file [`finish`]
+/// writes.
+pub fn set_output(path: impl Into<PathBuf>) {
+    enable();
+    *OUTPUT.lock().unwrap_or_else(|e| e.into_inner()) = Some(path.into());
+}
+
+/// Folds one trial into the global report (no-op unless enabled).
+/// Called by the shared trial runner; custom experiments that bypass it
+/// can call this — or [`record_metrics`] / [`record_report`] — from
+/// their own per-trial code.
+pub fn record_trial(trial: &Trial) {
+    if !is_enabled() {
+        return;
+    }
+    let mut r = metrics_report(&trial.metrics);
+    r.add_count("trials.agreed", trial.agreed as u64);
+    r.add_count(
+        "trials.truncated",
+        (trial.stop_reason != StopReason::AllDone) as u64,
+    );
+    r.record_hist("trial.distinct_outputs", trial.distinct_outputs as u64);
+    if let Some(survivors) = &trial.survivors {
+        r.record_hist("trial.rounds", survivors.len() as u64);
+        r.observe_max("sim.max_rounds", survivors.len() as u64);
+    }
+    record_report(&r);
+}
+
+/// Folds one run's step accounting into the global report (no-op
+/// unless enabled).
+pub fn record_metrics(metrics: &Metrics) {
+    if !is_enabled() {
+        return;
+    }
+    record_report(&metrics_report(metrics));
+}
+
+/// Merges an arbitrary pre-built report (no-op unless enabled).
+pub fn record_report(report: &ObsReport) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get_or_insert_with(ObsReport::new)
+        .merge(report);
+}
+
+fn metrics_report(metrics: &Metrics) -> ObsReport {
+    let mut r = ObsReport::new();
+    r.add_count("trials", 1);
+    r.add_count("sim.total_steps", metrics.total_steps);
+    r.add_count("sim.total_ops", metrics.total_ops);
+    r.add_count("sim.skipped_slots", metrics.skipped_slots);
+    for (name, &count) in OP_NAMES.iter().zip(&metrics.ops_by_kind) {
+        if count > 0 {
+            r.add_count(&format!("sim.ops.{name}"), count);
+        }
+    }
+    r.observe_max("sim.max_total_steps", metrics.total_steps);
+    r.observe_max("sim.max_individual_steps", metrics.max_individual_steps());
+    r.record_hist("trial.total_steps", metrics.total_steps);
+    r.record_hist("trial.max_individual_steps", metrics.max_individual_steps());
+    r
+}
+
+/// The merged observations so far: everything recorded through this
+/// module plus the substrate's current counters (`substrate.*` keys —
+/// all zero unless `sift-shmem` was built with its `obs` feature).
+pub fn collect() -> ObsReport {
+    let mut report = COLLECTOR
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_default();
+    report.merge(&sift_shmem::obs::snapshot().to_report());
+    report
+}
+
+/// Writes the merged observations as JSON to `path`.
+pub fn write_json(path: &Path) -> io::Result<()> {
+    std::fs::write(path, collect().to_json())
+}
+
+/// Writes the observation file registered with [`set_output`], if any.
+/// Called by [`cli::finish`](crate::cli::finish) at the end of every
+/// `exp_*` binary; harmless when no output was requested.
+pub fn finish() {
+    let path = OUTPUT.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let Some(path) = path else {
+        return;
+    };
+    match write_json(&path) {
+        Ok(()) => eprintln!("wrote observations to {}", path.display()),
+        Err(e) => eprintln!("failed to write observations to {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_sim::OpKind;
+
+    /// Serializes tests that toggle the global collector (shared with
+    /// other test binaries' threads only within this process).
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sample_metrics() -> Metrics {
+        let mut m = Metrics::new(2);
+        // `record` is crate-private to sift-sim; set the public counters
+        // directly.
+        m.total_steps = 10;
+        m.total_ops = 8;
+        m.skipped_slots = 1;
+        m.per_process_steps = vec![6, 4];
+        m.per_process_ops = vec![4, 4];
+        m.ops_by_kind = [2, 2, 0, 0, 1, 3];
+        m
+    }
+
+    /// The metrics-to-report mapping, exercised as a pure function (no
+    /// globals, so assertions are exact).
+    #[test]
+    fn metrics_report_maps_every_field() {
+        let r = metrics_report(&sample_metrics());
+        assert_eq!(r.count("trials"), 1);
+        assert_eq!(r.count("sim.total_steps"), 10);
+        assert_eq!(r.count("sim.total_ops"), 8);
+        assert_eq!(r.count("sim.skipped_slots"), 1);
+        assert_eq!(r.count("sim.ops.max_write"), 3);
+        assert_eq!(r.count("sim.ops.register_read"), 2);
+        // Zero-count kinds are omitted.
+        assert_eq!(r.count("sim.ops.snapshot_scan"), 0);
+        assert_eq!(r.max("sim.max_total_steps"), 10);
+        assert_eq!(r.max("sim.max_individual_steps"), 6);
+        assert_eq!(r.hist("trial.total_steps").unwrap().count(), 1);
+    }
+
+    // The global-collector tests below assert only on keys unique to
+    // this module's tests: other tests of this binary run trials
+    // concurrently and may fold standard `trials`/`sim.*` keys into the
+    // collector while it is enabled.
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _guard = obs_lock();
+        ENABLED.store(false, Ordering::Release);
+        let mut unique = ObsReport::new();
+        unique.add_count("test.disabled_marker", 1);
+        record_report(&unique);
+        record_metrics(&sample_metrics());
+        assert_eq!(collect().count("test.disabled_marker"), 0);
+    }
+
+    #[test]
+    fn enabled_recording_reaches_collector() {
+        let _guard = obs_lock();
+        enable();
+        let mut unique = ObsReport::new();
+        unique.add_count("test.enabled_marker", 2);
+        unique.record_hist("test.enabled_hist", 40);
+        record_report(&unique);
+        record_report(&unique);
+        let report = collect();
+        assert_eq!(report.count("test.enabled_marker"), 4);
+        assert_eq!(report.hist("test.enabled_hist").unwrap().count(), 2);
+        // The substrate fold contributes its (constant) enabled marker.
+        assert_eq!(
+            report.count("substrate.enabled"),
+            sift_shmem::obs::enabled() as u64
+        );
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn enable_clears_previous_window() {
+        let _guard = obs_lock();
+        enable();
+        let mut unique = ObsReport::new();
+        unique.add_count("test.stale_marker", 1);
+        record_report(&unique);
+        enable();
+        assert_eq!(collect().count("test.stale_marker"), 0);
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn op_names_align_with_kind_indices() {
+        use sift_sim::metrics::op_kind_index;
+        let kinds = [
+            OpKind::RegisterRead,
+            OpKind::RegisterWrite,
+            OpKind::SnapshotUpdate,
+            OpKind::SnapshotScan,
+            OpKind::MaxRead,
+            OpKind::MaxWrite,
+        ];
+        for kind in kinds {
+            assert_eq!(
+                OP_NAMES[op_kind_index(kind)],
+                sift_sim::obs::op_kind_name(kind),
+                "bench obs names must match the simulator's"
+            );
+        }
+    }
+}

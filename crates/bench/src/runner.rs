@@ -143,13 +143,15 @@ where
         );
     }
     let distinct: HashSet<ProcessId> = outputs.iter().map(|p| p.origin()).collect();
-    Trial {
+    let trial = Trial {
         agreed: distinct.len() <= 1 && outputs.len() == report.outputs.len(),
         distinct_outputs: distinct.len(),
         metrics: report.metrics,
         stop_reason: report.stop_reason,
         survivors,
-    }
+    };
+    crate::obs::record_trial(&trial);
+    trial
 }
 
 #[cfg(test)]

@@ -1,0 +1,227 @@
+//! Cache-padded striped counters and high-water-mark cells.
+//!
+//! The hot-path recording primitive: an increment touches only the
+//! calling thread's own cache-line-padded stripe (a relaxed RMW that is
+//! almost always uncontended), while the rare aggregate read pays to
+//! sum all stripes — the same discipline the reclamation gate in
+//! `sift-shmem::lockfree` uses for its reader pins.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Stripes per counter (power of two). Matches the reclamation gate's
+/// stripe count: with up to 16 live threads every thread gets a private
+/// line.
+const STRIPES: usize = 16;
+
+/// One padded stripe; the alignment keeps neighbouring stripes on
+/// different cache-line pairs so concurrent increments never
+/// false-share.
+#[repr(align(128))]
+#[derive(Debug)]
+struct Stripe(AtomicU64);
+
+/// The stripe index of the calling thread (stable for the thread's
+/// lifetime; handed out round-robin from a global counter).
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// A striped relaxed counter for hot-path increments from many threads.
+///
+/// `add`/`sub` are relaxed RMWs on the calling thread's own stripe;
+/// [`sum`](StripedCounter::sum) folds all stripes (exact once writers
+/// have quiesced). Stripe words wrap individually, so interleaved
+/// `add`/`sub` traffic can never corrupt the total: the stripe sum is
+/// computed with wrapping addition.
+///
+/// # Examples
+///
+/// ```
+/// use sift_obs::StripedCounter;
+/// static OPS: StripedCounter = StripedCounter::new();
+/// OPS.add(3);
+/// OPS.sub(1);
+/// assert_eq!(OPS.sum(), 2);
+/// OPS.reset();
+/// ```
+#[derive(Debug)]
+pub struct StripedCounter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StripedCounter {
+    /// Creates a zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            stripes: [const { Stripe(AtomicU64::new(0)) }; STRIPES],
+        }
+    }
+
+    /// Adds `n` to the calling thread's stripe.
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the calling thread's stripe (the stripe word
+    /// may wrap; the wrapping [`sum`](Self::sum) stays correct as long
+    /// as the true total is nonnegative).
+    pub fn sub(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all stripes.
+    pub fn sum(&self) -> u64 {
+        self.stripes
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
+    }
+
+    /// Zeroes every stripe.
+    pub fn reset(&self) {
+        for s in &self.stripes {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A relaxed high-water-mark cell.
+///
+/// # Examples
+///
+/// ```
+/// use sift_obs::MaxTracker;
+/// static HWM: MaxTracker = MaxTracker::new();
+/// HWM.observe(5);
+/// HWM.observe(3);
+/// assert_eq!(HWM.get(), 5);
+/// ```
+#[derive(Debug)]
+pub struct MaxTracker(AtomicU64);
+
+impl Default for MaxTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MaxTracker {
+    /// Creates a zeroed tracker (usable in `static` position).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Raises the mark to `value` if it is higher.
+    pub fn observe(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The highest observed value (0 when nothing was observed).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the mark to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_sub_sum_round_trip() {
+        let c = StripedCounter::new();
+        c.add(10);
+        c.sub(4);
+        c.add(1);
+        assert_eq!(c.sum(), 7);
+        c.reset();
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_all_counted() {
+        let c = Arc::new(StripedCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 80_000);
+    }
+
+    #[test]
+    fn cross_thread_sub_wraps_but_sums_correctly() {
+        // A thread that only decrements can wrap its own stripe below
+        // zero; the wrapping stripe sum must still be exact.
+        let c = Arc::new(StripedCounter::new());
+        c.add(1000);
+        let dec = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for _ in 0..900 {
+                    c.sub(1);
+                }
+            })
+        };
+        dec.join().unwrap();
+        assert_eq!(c.sum(), 100);
+    }
+
+    #[test]
+    fn max_tracker_keeps_peak() {
+        let m = MaxTracker::new();
+        assert_eq!(m.get(), 0);
+        m.observe(7);
+        m.observe(3);
+        m.observe(9);
+        m.observe(9);
+        assert_eq!(m.get(), 9);
+        m.reset();
+        assert_eq!(m.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_max_is_global_peak() {
+        let m = Arc::new(MaxTracker::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for k in 0..1000 {
+                        m.observe(t * 1000 + k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get(), 7999);
+    }
+}

@@ -36,6 +36,10 @@
 //! All `unsafe` in the crate lives in the private `lockfree` module
 //! (pointer publication with reader-gated reclamation); everything else
 //! forbids it.
+//!
+//! Building with the `obs` feature turns on the [`obs`] module's
+//! contention counters and per-op latency histograms; without it every
+//! recording hook is an empty inline stub.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -46,6 +50,7 @@ pub mod indexed;
 mod lockfree;
 pub mod max_register;
 pub mod memory;
+pub mod obs;
 pub mod persona_table;
 pub mod register;
 pub mod runtime;

@@ -175,6 +175,11 @@ impl<T: Send> Pile<T> {
     pub(crate) fn enter(&self) -> ReadGuard<'_, T> {
         let stripe = stripe_index();
         let pin = self.epoch.0.load(Ordering::SeqCst);
+        // The extra sequence load exists only in `obs` builds; a stale
+        // pin (epoch behind the live sequence) is sound but keeps
+        // retired nodes alive up to one extra reclaim interval.
+        #[cfg(feature = "obs")]
+        crate::obs::note_guard_entry(pin < self.seq.load(Ordering::Relaxed));
         let word = &self.stripes[stripe].0;
         let mut old = word.load(Ordering::SeqCst);
         loop {
@@ -197,6 +202,7 @@ impl<T: Send> Pile<T> {
     /// occasionally attempts reclamation.
     fn retire(&self, node: *mut Node<T>) {
         debug_assert!(!node.is_null());
+        crate::obs::note_retire();
         let stamp = self.seq.fetch_add(1, Ordering::SeqCst);
         // Safety: unlinked and not yet pushed — no other writer touches
         // `stamp`; concurrent readers may hold `&Node`, hence atomic.
@@ -252,6 +258,7 @@ impl<T: Send> Pile<T> {
         let mut keep_head: *mut Node<T> = ptr::null_mut();
         let mut keep_tail: *mut Node<T> = ptr::null_mut();
         let mut cur = head;
+        let (mut freed, mut kept) = (0u64, 0u64);
         while !cur.is_null() {
             // Safety: the detached chain is exclusively ours.
             let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
@@ -259,15 +266,18 @@ impl<T: Send> Pile<T> {
                 // Safety: retired before every active reader pinned —
                 // unreachable (module docs).
                 drop(unsafe { Box::from_raw(cur) });
+                freed += 1;
             } else {
                 unsafe { (*cur).next.store(keep_head, Ordering::Relaxed) };
                 if keep_head.is_null() {
                     keep_tail = cur;
                 }
                 keep_head = cur;
+                kept += 1;
             }
             cur = next;
         }
+        crate::obs::note_reclaim(freed, kept);
         if !keep_head.is_null() {
             // Safety: `keep_head..keep_tail` is an exclusively owned
             // chain; splice it back for a later attempt.
@@ -430,7 +440,10 @@ impl<T: Send> Slot<T> {
                     }
                     return true;
                 }
-                Err(now) => current = now,
+                Err(now) => {
+                    crate::obs::note_cas_retry();
+                    current = now;
+                }
             }
         }
     }
@@ -473,6 +486,7 @@ impl<T: Send> Slot<T> {
                     return;
                 }
                 Err(now) => {
+                    crate::obs::note_republish_conflict();
                     current = now;
                     // Bounded backoff: under a write burst, each failed
                     // CAS costs a full `make` rebuild, so a short pause

@@ -20,6 +20,7 @@ use crate::ids::ProcessId;
 use crate::layout::Layout;
 use crate::memory::Memory;
 use crate::metrics::Metrics;
+use crate::obs::RingSink;
 use crate::op::Op;
 use crate::process::{Process, Step};
 use crate::schedule::Schedule;
@@ -84,6 +85,7 @@ pub struct Engine<P: Process> {
     slots: Vec<Slot<P>>,
     metrics: Metrics,
     trace: Option<Trace>,
+    ring: Option<RingSink>,
     slot_limit: u64,
     live: usize,
 }
@@ -117,6 +119,7 @@ impl<P: Process> Engine<P> {
             slots,
             metrics: Metrics::new(n),
             trace: None,
+            ring: None,
             slot_limit: u64::MAX,
             live,
         }
@@ -125,6 +128,20 @@ impl<P: Process> Engine<P> {
     /// Enables trace recording (off by default; traces can be large).
     pub fn enable_trace(&mut self) -> &mut Self {
         self.trace = Some(Trace::new());
+        self
+    }
+
+    /// Enables the bounded step-event ring: the last `capacity` charged
+    /// operations are retained in [`RunReport::ring`], at fixed memory
+    /// cost regardless of run length (unlike [`enable_trace`]
+    /// (Self::enable_trace), which keeps everything). Both sinks can be
+    /// on at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace_ring(&mut self, capacity: usize) -> &mut Self {
+        self.ring = Some(RingSink::new(capacity));
         self
     }
 
@@ -159,12 +176,16 @@ impl<P: Process> Engine<P> {
         let kind = op.kind();
         let cost = self.memory.cost(&op);
         let result = self.memory.execute(op);
+        let event = TraceEvent {
+            slot: self.metrics.total_ops,
+            pid,
+            kind,
+        };
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                slot: self.metrics.total_ops,
-                pid,
-                kind,
-            });
+            trace.push(event);
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.push(event);
         }
         self.metrics.record(pid.index(), kind, cost);
 
@@ -314,6 +335,7 @@ impl<P: Process> Engine<P> {
             metrics: self.metrics,
             memory: self.memory,
             trace: self.trace,
+            ring: self.ring,
             stop_reason: reason,
         }
     }
@@ -354,6 +376,9 @@ pub struct RunReport<P: Process> {
     pub memory: Memory<P::Value>,
     /// The execution trace, if recording was enabled.
     pub trace: Option<Trace>,
+    /// The bounded step-event ring, if enabled (see
+    /// [`Engine::enable_trace_ring`]).
+    pub ring: Option<RingSink>,
     /// Why the run ended.
     pub stop_reason: StopReason,
 }
@@ -533,6 +558,24 @@ mod tests {
         let trace = report.trace.expect("trace enabled");
         assert_eq!(trace.len(), 4);
         assert_eq!(trace.by_process(ProcessId(0)).count(), 2);
+    }
+
+    #[test]
+    fn trace_ring_keeps_last_events_at_fixed_cost() {
+        let (layout, r) = one_register();
+        let procs = vec![WriteRead::new(r, 1), WriteRead::new(r, 2)];
+        let mut engine = Engine::new(&layout, procs);
+        engine.enable_trace_ring(2);
+        let report = engine.run(RoundRobin::new(2));
+        let ring = report.ring.expect("ring enabled");
+        assert_eq!(ring.total_pushed(), 4);
+        assert_eq!(ring.dropped(), 2);
+        // The last two charged slots are the two reads.
+        let slots: Vec<u64> = ring.events().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![2, 3]);
+        assert!(ring
+            .events()
+            .all(|e| e.kind == crate::op::OpKind::RegisterRead));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod max_register;
 pub mod mc;
 pub mod memory;
 pub mod metrics;
+pub mod obs;
 pub mod op;
 pub mod process;
 pub mod register;

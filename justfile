@@ -48,8 +48,14 @@ mc:
 mc-full:
     cargo test --release --test exhaustive --test linearizability --test mc_replay -- --include-ignored
 
+# The suites that touch the instrumentation, with the substrate's
+# counters compiled in (`obs` feature).
+test-obs:
+    cargo test -q -p sift-shmem --features obs
+    cargo test -q -p sift-bench --features obs
+
 # Everything CI runs.
-ci: fmt-check clippy tier1 test-coarse mc determinism
+ci: fmt-check clippy tier1 test-coarse test-obs mc determinism
 
 # Regenerate the recorded experiment output (uses all cores).
 experiments:
@@ -61,6 +67,17 @@ bench:
 
 # Refresh the tracked contention baseline: runs the contention bench
 # and writes per-benchmark medians to BENCH_shmem.json at the repo
-# root. Raise SIFT_BENCH_MS for a steadier baseline on a quiet machine.
+# root, plus the observation companion BENCH_obs.json (all-zero
+# substrate counters in this default build; see `bench-obs`). Raise
+# SIFT_BENCH_MS for a steadier baseline on a quiet machine.
 bench-json:
-    SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_shmem.json cargo bench -p sift-bench --bench contention
+    SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_shmem.json \
+    SIFT_BENCH_OBS_JSON={{justfile_directory()}}/BENCH_obs.json \
+    cargo bench -p sift-bench --bench contention
+
+# The contention bench with the substrate's counters compiled in:
+# BENCH_obs.json then carries real CAS-retry / retire-pile / latency
+# numbers. Timings are not comparable to the default build's baseline.
+bench-obs:
+    SIFT_BENCH_OBS_JSON={{justfile_directory()}}/BENCH_obs.json \
+    cargo bench -p sift-bench --features obs --bench contention

@@ -9,12 +9,15 @@
 //! * [`adopt_commit`] — adopt-commit objects.
 //! * [`consensus`] — consensus from conciliator/adopt-commit alternation.
 //! * [`tas`] — test-and-set from sifting (the §5 connection).
+//! * [`obs`] — mergeable observation primitives (striped counters,
+//!   log-bucketed histograms, reports) behind the observability layer.
 
 #![forbid(unsafe_code)]
 
 pub use sift_adopt_commit as adopt_commit;
 pub use sift_consensus as consensus;
 pub use sift_core as core;
+pub use sift_obs as obs;
 pub use sift_shmem as shmem;
 pub use sift_sim as sim;
 pub use sift_tas as tas;

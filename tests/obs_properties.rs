@@ -1,0 +1,89 @@
+// Needs the external `proptest` crate: compiled only with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
+//! Property-based tests of the observation algebra: report merge is
+//! commutative and associative, histogram merge never loses a count,
+//! and bucketing maps every value into the bucket that contains it.
+//! (The deterministic seed-sampled versions of these properties live in
+//! `sift-obs`'s unit tests; this suite re-checks them under proptest's
+//! adversarial generation when the external crate is available.)
+
+use proptest::prelude::*;
+
+use sift::obs::{bucket_lower_bound, bucket_of, Histogram, ObsReport, BUCKETS};
+
+/// An arbitrary report: a handful of counters, maxima, and histogram
+/// observations over a small shared key space (so merges collide).
+fn report() -> impl Strategy<Value = ObsReport> {
+    let entry = (0usize..4, 0u64..1_000_000);
+    proptest::collection::vec((entry.clone(), entry.clone(), entry), 0..12).prop_map(|triples| {
+        let keys = ["alpha", "beta", "gamma", "delta"];
+        let mut r = ObsReport::new();
+        for ((ck, cv), (mk, mv), (hk, hv)) in triples {
+            r.add_count(keys[ck], cv);
+            r.observe_max(keys[mk], mv);
+            r.record_hist(keys[hk], hv);
+        }
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge order cannot show: a ⊕ b = b ⊕ a.
+    #[test]
+    fn report_merge_is_commutative(a in report(), b in report()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    /// Merge grouping cannot show: (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c).
+    #[test]
+    fn report_merge_is_associative(a in report(), b in report(), c in report()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Histogram merge conserves counts, bucket by bucket.
+    #[test]
+    fn histogram_merge_never_loses_counts(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut a = Histogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        let mut b = Histogram::new();
+        for &y in &ys {
+            b.record(y);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.count_at(i), a.count_at(i) + b.count_at(i));
+        }
+    }
+
+    /// Every value lands in the bucket whose range contains it.
+    #[test]
+    fn bucketing_is_a_partition(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        if i + 1 < BUCKETS {
+            prop_assert!(v < bucket_lower_bound(i + 1));
+        }
+    }
+}
