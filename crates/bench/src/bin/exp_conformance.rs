@@ -1,0 +1,25 @@
+//! E22: the statistical conformance suite — every quantitative claim of
+//! the paper (Lemmas 1–4, Theorems 1–3, Corollaries 1–3) as a one-sided
+//! 99% hypothesis test. Output of this binary is what the conformance
+//! table in `EXPERIMENTS.md` records.
+//!
+//! `SIFT_TRIALS` acts as the *scale* multiplier on every per-claim
+//! trial count (default 1 = the CI smoke tier; the nightly tier runs
+//! with a larger scale). Exits nonzero if any claim is refuted.
+fn main() {
+    sift_bench::cli::init();
+    let scale = sift_bench::default_trials(1);
+    let start = std::time::Instant::now();
+    let results = sift_bench::conformance::run(scale);
+    sift_bench::conformance::render(&results).print();
+    println!(
+        "conformance digest: {:#018x} (scale {scale})",
+        sift_bench::conformance::digest(&results)
+    );
+    eprintln!("total time: {:.1?}", start.elapsed());
+    sift_bench::cli::finish();
+    if !sift_bench::conformance::all_pass(&results) {
+        eprintln!("conformance: at least one claim refuted at 99% confidence");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Coverage-guided adversary fuzzing campaign against the sifting
+//! conciliator's schedule-independent invariants.
+//!
+//! Campaign shape comes from the environment (the shared CLI flags
+//! reject unknown options, and fuzz knobs are fuzz-only):
+//!
+//! * `SIFT_FUZZ_N` — processes per candidate schedule (default 8)
+//! * `SIFT_FUZZ_GENERATIONS` — propose/evaluate/absorb cycles (12)
+//! * `SIFT_FUZZ_POPULATION` — candidates per generation (16)
+//! * `SIFT_FUZZ_SEED` — campaign master seed
+//! * `SIFT_FUZZ_OUT` — optional path for a plain-text campaign report
+//!   (what the nightly CI job uploads as an artifact)
+//!
+//! Every violation prints with its shrunk `FixedSchedule` replay script
+//! when one exists; the exit code is nonzero if any violation was
+//! found. On correct code this binary is a coverage report.
+use std::io::Write;
+
+use sift_bench::fuzz::{run_fuzz, FuzzConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(x) if x > 0 => x,
+            _ => {
+                eprintln!("{name} must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => match v.parse::<u64>() {
+            Ok(x) => x,
+            Err(_) => {
+                eprintln!("{name} must be an unsigned integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    sift_bench::cli::init();
+    let defaults = FuzzConfig::default();
+    let config = FuzzConfig {
+        n: env_usize("SIFT_FUZZ_N", defaults.n),
+        generations: env_usize("SIFT_FUZZ_GENERATIONS", defaults.generations),
+        population: env_usize("SIFT_FUZZ_POPULATION", defaults.population),
+        seed: env_u64("SIFT_FUZZ_SEED", defaults.seed),
+    };
+
+    let start = std::time::Instant::now();
+    let report = run_fuzz(&config);
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "fuzz campaign: n={} generations={} population={} seed={:#x}\n",
+        config.n, config.generations, config.population, config.seed
+    ));
+    summary.push_str(&format!(
+        "evaluated {} candidates; {} distinct fingerprints; corpus {}; {} violations\n",
+        report.evaluated,
+        report.coverage,
+        report.corpus_len,
+        report.violations.len()
+    ));
+    summary.push_str(&format!("campaign digest: {:#018x}\n", report.digest()));
+    for violation in &report.violations {
+        summary.push_str(&format!("\n{violation}\n"));
+    }
+    print!("{summary}");
+
+    if let Ok(path) = std::env::var("SIFT_FUZZ_OUT") {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(summary.as_bytes())) {
+            Ok(()) => eprintln!("wrote campaign report to {path}"),
+            Err(e) => {
+                eprintln!("cannot write campaign report to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    eprintln!("total time: {:.1?}", start.elapsed());
+    sift_bench::cli::finish();
+    if !report.violations.is_empty() {
+        eprintln!(
+            "fuzz: {} invariant violation(s) found",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

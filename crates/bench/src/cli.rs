@@ -40,8 +40,19 @@ pub fn init() {
 
 /// Writes the `--obs-json` observation file, if one was requested.
 /// Call last in every `exp_*` `main`.
+///
+/// An unwritable path (missing or non-directory parent, permission,
+/// NUL byte, ...) is a clean diagnostic and exit code 1 — never a
+/// panic, and never a silent success with the file missing.
 pub fn finish() {
-    crate::obs::finish();
+    match crate::obs::try_finish() {
+        Ok(Some(path)) => eprintln!("wrote observations to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: failed to write observations: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn apply(args: &[String]) {

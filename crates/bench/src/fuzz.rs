@@ -1,0 +1,356 @@
+//! Parallel driver for the coverage-guided adversary fuzzer.
+//!
+//! [`sift_sim::fuzz`] owns proposal, coverage, and the corpus; this
+//! module owns what needs a concrete protocol: candidate *evaluation*.
+//! Each candidate genome is compiled to an oblivious schedule, run
+//! against a fresh [`SiftingConciliator`] instance under a generous
+//! slot budget, checked against the protocol's schedule-independent
+//! invariants, and — when a violation reproduces under deterministic
+//! replay of its charged script — greedily shrunk to a 1-minimal
+//! [`FixedSchedule`](sift_sim::schedule::FixedSchedule) script via
+//! [`shrink_schedule_with`].
+//!
+//! The invariants hold for **every** oblivious schedule, so any failure
+//! is a protocol bug (or a deliberately broken `mutants` build):
+//!
+//! 1. *Step bound*: no process performs more than
+//!    [`steps_bound`](sift_core::Conciliator::steps_bound) charged ops.
+//! 2. *Survivor monotonicity*: the number of distinct personae alive
+//!    after round `i+1` never exceeds round `i`'s (the paper's sifting
+//!    progress measure only moves down).
+//! 3. *Validity*: every decided persona carries some process's input.
+//! 4. *Liveness under the slot budget*: exhausting
+//!    `prefix + 4·n·(R+2)` scheduled slots means a livelock — a
+//!    correct sifter finishes each process in exactly `R` charged ops.
+//!    Such hangs depend on the schedule's infinite tail and are
+//!    reported unshrunk (`shrunk: None`).
+//!
+//! Evaluation is a pure function of `(genome, case seed)`, so a
+//! generation fans out over [`map_reduce`] and folds back in proposal
+//! order — the whole run, including the corpus [`digest`](
+//! FuzzReport::digest), is byte-identical for any `SIFT_THREADS`.
+
+use sift_core::{
+    distinct_per_round, try_check_validity, Conciliator, Epsilon, RoundHistory, SiftingConciliator,
+};
+use sift_sim::fuzz::{
+    interleaving_signature, Evaluation, FingerprintHasher, FuzzFailure, FuzzViolation, Fuzzer,
+    ScheduleGenome,
+};
+use sift_sim::mc::{replay_report, shrink_schedule_with};
+use sift_sim::rng::SeedSplitter;
+use sift_sim::{Engine, LayoutBuilder, ProcessId, RunReport, StopReason};
+
+use crate::exec::map_reduce;
+
+/// Parameters of one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of processes in each candidate schedule.
+    pub n: usize,
+    /// Propose/evaluate/absorb cycles.
+    pub generations: usize,
+    /// Candidates per generation.
+    pub population: usize,
+    /// Master seed of the campaign (drives both genome proposal and
+    /// every per-candidate protocol randomness).
+    pub seed: u64,
+}
+
+impl Default for FuzzConfig {
+    /// The CI smoke budget: 12 generations of 16 candidates at `n = 8`.
+    fn default() -> Self {
+        Self {
+            n: 8,
+            generations: 12,
+            population: 16,
+            seed: 0xF0_22,
+        }
+    }
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Distinct coverage fingerprints observed.
+    pub coverage: usize,
+    /// Coverage-novel schedules kept (≤ `coverage`).
+    pub corpus_len: usize,
+    /// Total candidates evaluated.
+    pub evaluated: usize,
+    /// Every invariant violation found, in evaluation order.
+    pub violations: Vec<FuzzViolation>,
+    /// Corpus fingerprints in insertion order (the deterministic part
+    /// of the corpus — [`CoverageMap`](sift_sim::fuzz::CoverageMap)
+    /// itself is a hash set with no stable iteration order).
+    pub corpus_fingerprints: Vec<u64>,
+    /// Corpus scripts in insertion order, for downstream replay (the
+    /// differential substrate harness feeds on these).
+    pub corpus_scripts: Vec<Vec<usize>>,
+}
+
+impl FuzzReport {
+    /// FNV digest of the campaign: corpus fingerprints in insertion
+    /// order plus the violation count. The seed-stability regression
+    /// hook — byte-identical across `SIFT_THREADS` for a fixed config.
+    pub fn digest(&self) -> u64 {
+        let mut h = FingerprintHasher::new();
+        h.write_usize(self.evaluated);
+        for &fp in &self.corpus_fingerprints {
+            h.write_u64(fp);
+        }
+        h.write_usize(self.violations.len());
+        h.finish()
+    }
+}
+
+/// Runs a fuzzing campaign against the unmodified
+/// [`SiftingConciliator`]. On correct code this finds schedules, not
+/// bugs: expect `violations` to be empty and the corpus to grow.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    run_fuzz_with(config, &|b: &mut LayoutBuilder, n: usize| {
+        SiftingConciliator::allocate(b, n, Epsilon::HALF)
+    })
+}
+
+/// Runs a campaign against a deliberately broken sifter — the fuzzer
+/// half of mutation testing. `StuckRead` must be caught within the
+/// default smoke budget: reader-first schedules push its per-process
+/// ops past the bound (shrunk to a minimal script), and its persona
+/// convergence livelocks the tail round-robin (reported unshrunk).
+#[cfg(feature = "mutants")]
+pub fn run_fuzz_mutant(config: &FuzzConfig, mutation: sift_core::SiftingMutation) -> FuzzReport {
+    run_fuzz_with(config, &move |b: &mut LayoutBuilder, n: usize| {
+        SiftingConciliator::allocate_mutant(b, n, Epsilon::HALF, mutation)
+    })
+}
+
+fn run_fuzz_with(
+    config: &FuzzConfig,
+    build: &(impl Fn(&mut LayoutBuilder, usize) -> SiftingConciliator + Sync),
+) -> FuzzReport {
+    assert!(config.n > 0, "need at least one process");
+    assert!(config.population > 0, "need a nonempty generation");
+    let split = SeedSplitter::new(config.seed);
+    let mut fuzzer = Fuzzer::new(config.n, split.seed("proposals", 0));
+
+    for generation in 0..config.generations {
+        let candidates = fuzzer.propose(config.population);
+        // Evaluations are pure; fan out and fold back in index order
+        // (Vec's Merge concatenates chunk results in chunk order).
+        let evals: Vec<Evaluation> = map_reduce(
+            candidates.len(),
+            |index| {
+                let case = split.seed("case", (generation * config.population) as u64 + index);
+                evaluate(config.n, case, &candidates[index as usize], build)
+            },
+            Vec::new,
+            |acc, eval| acc.push(eval),
+        );
+        for (genome, eval) in candidates.into_iter().zip(evals) {
+            fuzzer.absorb(genome, eval);
+        }
+    }
+
+    FuzzReport {
+        coverage: fuzzer.coverage(),
+        corpus_len: fuzzer.corpus().len(),
+        evaluated: fuzzer.evaluated(),
+        corpus_fingerprints: fuzzer
+            .corpus()
+            .entries()
+            .iter()
+            .map(|e| e.fingerprint)
+            .collect(),
+        corpus_scripts: fuzzer
+            .corpus()
+            .entries()
+            .iter()
+            .map(|e| e.script.clone())
+            .collect(),
+        violations: fuzzer.violations().to_vec(),
+    }
+}
+
+/// Evaluates one candidate genome: run, fingerprint, invariant check,
+/// replay pre-check, shrink.
+fn evaluate(
+    n: usize,
+    case_seed: u64,
+    genome: &ScheduleGenome,
+    build: &impl Fn(&mut LayoutBuilder, usize) -> SiftingConciliator,
+) -> Evaluation {
+    let mut builder = LayoutBuilder::new();
+    let conciliator = build(&mut builder, n);
+    let layout = builder.build();
+    let steps_bound = conciliator
+        .steps_bound()
+        .expect("the sifting conciliator is bounded");
+    let case = SeedSplitter::new(case_seed);
+    let factory = || {
+        (0..n)
+            .map(|i| {
+                let mut rng = case.stream("process", i as u64);
+                conciliator.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let schedule = genome.compile(n);
+    // A correct sifter finishes every process in R charged ops; skipped
+    // slots of finished processes also count against the budget, so
+    // leave 4× headroom past the compiled prefix before calling a run
+    // livelocked.
+    let budget = schedule.prefix_len() as u64 + 4 * n as u64 * (steps_bound + 2);
+    let mut engine = Engine::new(&layout, factory());
+    engine.enable_trace();
+    engine.limit_slots(budget);
+    let report = engine.run(schedule);
+
+    let trace = report.trace.as_ref().expect("trace recording was enabled");
+    let script: Vec<usize> = trace.events().iter().map(|e| e.pid.index()).collect();
+    let survivors = distinct_per_round(report.processes.iter().map(|p| p.history()));
+    let mut h = FingerprintHasher::new();
+    h.write_u64(interleaving_signature(trace));
+    for &s in &survivors {
+        h.write_usize(s);
+    }
+    for &k in &report.metrics.ops_by_kind {
+        h.write_u64(k);
+    }
+    let fingerprint = h.finish();
+
+    let property =
+        |r: &RunReport<sift_core::SiftingParticipant>| check_invariants(n, steps_bound, r);
+    let failure = property(&report).err().map(|message| {
+        // A violation that reproduces under deterministic replay of the
+        // charged script shrinks to a 1-minimal script; one that
+        // depends on the infinite schedule tail (the slot-limit
+        // livelock — replays of the finite script exhaust the schedule
+        // instead) is reported unshrunk.
+        if property(&replay_report(&layout, factory(), &script)).is_err() {
+            let (shrunk, message) =
+                shrink_schedule_with(&layout, &factory, script.clone(), &property);
+            FuzzFailure {
+                message,
+                shrunk: Some(shrunk),
+            }
+        } else {
+            FuzzFailure {
+                message,
+                shrunk: None,
+            }
+        }
+    });
+
+    Evaluation {
+        fingerprint,
+        script,
+        failure,
+    }
+}
+
+/// The schedule-independent invariants of the sifting conciliator.
+fn check_invariants(
+    n: usize,
+    steps_bound: u64,
+    report: &RunReport<sift_core::SiftingParticipant>,
+) -> Result<(), String> {
+    for (pid, &ops) in report.metrics.per_process_ops.iter().enumerate() {
+        if ops > steps_bound {
+            return Err(format!(
+                "step bound violated: process {pid} performed {ops} charged ops \
+                 (bound {steps_bound})"
+            ));
+        }
+    }
+    let survivors = distinct_per_round(report.processes.iter().map(|p| p.history()));
+    if let Some(w) = survivors.windows(2).find(|w| w[1] > w[0]) {
+        return Err(format!(
+            "survivor monotonicity violated: {} distinct personae after a round \
+             that started with {}",
+            w[1], w[0]
+        ));
+    }
+    let inputs: Vec<u64> = (0..n as u64).collect();
+    try_check_validity(&inputs, &report.outputs)?;
+    if report.stop_reason == StopReason::SlotLimit {
+        return Err(format!(
+            "slot budget exhausted after {} charged ops + {} skipped slots — livelock",
+            report.metrics.total_ops, report.metrics.skipped_slots
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FuzzConfig {
+        FuzzConfig {
+            n: 4,
+            generations: 3,
+            population: 6,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn clean_campaign_finds_coverage_and_no_violations() {
+        let _guard = crate::exec::override_lock();
+        let report = run_fuzz(&tiny());
+        assert_eq!(report.evaluated, 18);
+        assert!(report.coverage >= 2, "schedule diversity should show up");
+        assert_eq!(report.corpus_len, report.corpus_fingerprints.len());
+        assert_eq!(report.corpus_len, report.corpus_scripts.len());
+        assert!(
+            report.violations.is_empty(),
+            "unexpected violations: {}",
+            report.violations[0]
+        );
+    }
+
+    #[test]
+    fn campaign_digest_is_reproducible_and_seed_sensitive() {
+        let _guard = crate::exec::override_lock();
+        let a = run_fuzz(&tiny());
+        let b = run_fuzz(&tiny());
+        assert_eq!(a.digest(), b.digest());
+        let mut other = tiny();
+        other.seed = 12;
+        assert_ne!(a.digest(), run_fuzz(&other).digest());
+    }
+
+    #[test]
+    fn campaign_digest_is_thread_count_invariant() {
+        let _guard = crate::exec::override_lock();
+        let digests: Vec<u64> = [1usize, 4, 8]
+            .into_iter()
+            .map(|t| {
+                crate::exec::set_threads(t);
+                run_fuzz(&tiny()).digest()
+            })
+            .collect();
+        crate::exec::set_threads(0);
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
+    }
+
+    #[test]
+    fn invariant_checker_accepts_a_clean_run() {
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, 4, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(5);
+        let procs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect();
+        let report = Engine::new(&layout, procs).run(sift_sim::schedule::RoundRobin::new(4));
+        assert_eq!(report.stop_reason, StopReason::AllDone);
+        check_invariants(4, c.steps_bound().unwrap(), &report).unwrap();
+    }
+}

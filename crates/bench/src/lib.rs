@@ -10,14 +10,17 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod conformance;
 pub mod exec;
 pub mod experiments;
+pub mod fuzz;
 pub mod microbench;
 pub mod obs;
 pub mod runner;
 pub mod stats;
 pub mod table;
 
+pub use conformance::{all_pass, ClaimResult};
 pub use exec::{map_reduce, Batch, Merge, TrialSpec};
 pub use runner::{default_trials, run_trial, run_trial_with_history, Trial};
 pub use stats::{Last, Peak, RateCounter, RoundExcess, Summary, Truncations, Welford};

@@ -148,16 +148,34 @@ pub fn write_json(path: &Path) -> io::Result<()> {
 }
 
 /// Writes the observation file registered with [`set_output`], if any.
-/// Called by [`cli::finish`](crate::cli::finish) at the end of every
-/// `exp_*` binary; harmless when no output was requested.
-pub fn finish() {
+///
+/// Returns the path written (`None` when no output was requested) so
+/// the caller owns the user-facing success/error reporting; the I/O
+/// error of an unwritable path comes back instead of being swallowed.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error (missing parent
+/// directory, parent is a file, permission, invalid path, ...).
+pub fn try_finish() -> io::Result<Option<PathBuf>> {
     let path = OUTPUT.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let Some(path) = path else {
-        return;
+        return Ok(None);
     };
-    match write_json(&path) {
-        Ok(()) => eprintln!("wrote observations to {}", path.display()),
-        Err(e) => eprintln!("failed to write observations to {}: {e}", path.display()),
+    write_json(&path)?;
+    Ok(Some(path))
+}
+
+/// Writes the observation file registered with [`set_output`], if any,
+/// reporting the outcome on stderr and continuing on failure. Kept for
+/// callers that treat observability as best-effort; `exp_*` binaries go
+/// through [`cli::finish`](crate::cli::finish), which exits nonzero on
+/// an unwritable path instead.
+pub fn finish() {
+    match try_finish() {
+        Ok(Some(path)) => eprintln!("wrote observations to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write observations: {e}"),
     }
 }
 
@@ -270,5 +288,64 @@ mod tests {
                 "bench obs names must match the simulator's"
             );
         }
+    }
+
+    /// Clears the registered output path (tests only — production code
+    /// sets it once per process).
+    fn clear_output() {
+        *OUTPUT.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn try_finish_without_an_output_is_a_silent_noop() {
+        let _guard = obs_lock();
+        clear_output();
+        assert!(matches!(try_finish(), Ok(None)));
+    }
+
+    #[test]
+    fn try_finish_writes_the_registered_file() {
+        let _guard = obs_lock();
+        let dir = std::env::temp_dir().join(format!("sift-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obs.json");
+        set_output(&path);
+        let written = try_finish().unwrap().expect("an output was registered");
+        assert_eq!(written, path);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{'), "JSON object expected, got: {body}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        clear_output();
+    }
+
+    #[test]
+    fn try_finish_reports_a_parent_that_is_a_file() {
+        let _guard = obs_lock();
+        let blocker = std::env::temp_dir().join(format!("sift-obs-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        // The parent of the output path is a regular file: the write
+        // must surface the OS error, not panic and not "succeed".
+        set_output(blocker.join("obs.json"));
+        let err = try_finish().expect_err("writing under a file must fail");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::NotADirectory | io::ErrorKind::NotFound | io::ErrorKind::Other
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        std::fs::remove_file(&blocker).unwrap();
+        clear_output();
+    }
+
+    #[test]
+    fn try_finish_reports_an_invalid_path() {
+        let _guard = obs_lock();
+        // A NUL byte is invalid in paths on every supported platform,
+        // independent of privileges (chmod tricks are useless as root).
+        set_output("sift-obs-\0-invalid.json");
+        assert!(try_finish().is_err());
+        clear_output();
     }
 }

@@ -121,6 +121,31 @@ impl Welford {
         }
     }
 
+    /// One-sided normal-approximation upper confidence bound on the
+    /// population mean: `mean + z·s/√n`. With [`Z_99`] this is the
+    /// conformance suite's 99% mean test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were absorbed.
+    pub fn mean_ucb(&self, z: f64) -> f64 {
+        let s = self.summary();
+        s.mean + z * s.std_dev / (s.count as f64).sqrt()
+    }
+
+    /// One-sided normal-approximation lower confidence bound on the
+    /// population mean: `mean - z·s/√n`. The conformance suite refutes
+    /// a claimed expectation bound only when this *lower* bound exceeds
+    /// it — the data then excludes the claim at the chosen confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were absorbed.
+    pub fn mean_lcb(&self, z: f64) -> f64 {
+        let s = self.summary();
+        s.mean - z * s.std_dev / (s.count as f64).sqrt()
+    }
+
     /// Freezes the accumulator into a [`Summary`].
     ///
     /// # Panics
@@ -165,6 +190,99 @@ impl Merge for Welford {
         self.max = self.max.max(other.max);
     }
 }
+
+/// `P(X ≤ k)` for `X ~ Binomial(n, p)`, computed with an iterative
+/// log-space pmf recurrence (no special-function dependencies; exact to
+/// double rounding for the `n` used in the conformance suite).
+///
+/// Terms that underflow `exp` contribute 0, which only matters when the
+/// whole CDF is far below any confidence threshold we test against.
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p == 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    if k >= n {
+        return 1.0;
+    }
+    let ln_ratio = (p / (1.0 - p)).ln();
+    // ln pmf(0) = n·ln(1−p); pmf(i+1)/pmf(i) = (n−i)/(i+1) · p/(1−p).
+    let mut ln_pmf = n as f64 * (-p).ln_1p();
+    let mut cdf = ln_pmf.exp();
+    for i in 0..k {
+        ln_pmf += ((n - i) as f64 / (i + 1) as f64).ln() + ln_ratio;
+        cdf += ln_pmf.exp();
+    }
+    cdf.min(1.0)
+}
+
+/// One-sided Clopper–Pearson **upper** confidence bound at confidence
+/// `1 - alpha` on a binomial success probability, having observed `x`
+/// successes in `n` trials: the largest `p` not rejected by
+/// `P(X ≤ x) ≥ alpha`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `x > n`, or `alpha` is outside `(0, 1)`.
+pub fn cp_upper(x: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one trial");
+    assert!(x <= n, "successes {x} exceed trials {n}");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    if x >= n {
+        return 1.0;
+    }
+    // binomial_cdf(x, n, ·) is strictly decreasing in p: bisect for the
+    // p where it crosses alpha. 60 iterations pin p to ~1e-18.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if binomial_cdf(x, n, mid) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// One-sided Clopper–Pearson **lower** confidence bound at confidence
+/// `1 - alpha` on a binomial success probability, having observed `x`
+/// successes in `n` trials: the smallest `p` not rejected by
+/// `P(X ≥ x) ≥ alpha`.
+///
+/// This is the conformance suite's refutation tool: if even the 99%
+/// lower confidence bound on a failure rate exceeds the paper's bound,
+/// the data excludes the bound at 99% confidence.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `x > n`, or `alpha` is outside `(0, 1)`.
+pub fn cp_lower(x: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one trial");
+    assert!(x <= n, "successes {x} exceed trials {n}");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    if x == 0 {
+        return 0.0;
+    }
+    // P(X ≥ x) = 1 − P(X ≤ x−1) is strictly increasing in p.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if 1.0 - binomial_cdf(x - 1, n, mid) < alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// z-quantile for one-sided 99% confidence, used by the conformance
+/// suite's mean tests (`Φ(2.326) ≈ 0.99`).
+pub const Z_99: f64 = 2.326;
 
 /// An online success-rate counter (for agreement probabilities).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -512,6 +630,110 @@ mod tests {
         let means = a.means();
         // Round 1: (3 + 1)/2 = 2; round 2: (1 + 0)/2 = 0.5; round 3: 0/2.
         assert_eq!(means, vec![2.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn binomial_cdf_matches_exact_small_cases() {
+        // Binomial(10, 1/2): P(X ≤ 5) = 638/1024.
+        assert!((binomial_cdf(5, 10, 0.5) - 638.0 / 1024.0).abs() < 1e-12);
+        // P(X ≤ 0) = (1-p)^n.
+        assert!((binomial_cdf(0, 20, 0.3) - 0.7f64.powi(20)).abs() < 1e-12);
+        // Full support sums to 1.
+        assert!((binomial_cdf(10, 10, 0.37) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_cdf(3, 10, 0.0), 1.0);
+        assert_eq!(binomial_cdf(3, 10, 1.0), 0.0);
+        assert_eq!(binomial_cdf(10, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn binomial_cdf_is_monotone_in_its_arguments() {
+        for k in 0..19u64 {
+            assert!(binomial_cdf(k, 20, 0.4) <= binomial_cdf(k + 1, 20, 0.4));
+        }
+        let mut last = 1.0;
+        for i in 1..20 {
+            let p = i as f64 / 20.0;
+            let c = binomial_cdf(7, 20, p);
+            assert!(c <= last, "CDF must decrease in p");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn cp_upper_matches_the_zero_successes_closed_form() {
+        // x = 0: the upper bound solves (1-p)^n = alpha, i.e.
+        // p = 1 - alpha^(1/n).
+        for (n, alpha) in [(10u64, 0.05f64), (100, 0.01), (400, 0.01)] {
+            let expect = 1.0 - alpha.powf(1.0 / n as f64);
+            assert!(
+                (cp_upper(0, n, alpha) - expect).abs() < 1e-9,
+                "n={n} alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn cp_lower_matches_the_all_successes_closed_form() {
+        // x = n: the lower bound solves p^n = alpha.
+        for (n, alpha) in [(10u64, 0.05f64), (100, 0.01)] {
+            let expect = alpha.powf(1.0 / n as f64);
+            assert!(
+                (cp_lower(n, n, alpha) - expect).abs() < 1e-9,
+                "n={n} alpha={alpha}"
+            );
+        }
+        assert_eq!(cp_lower(0, 50, 0.01), 0.0);
+        assert_eq!(cp_upper(50, 50, 0.01), 1.0);
+    }
+
+    #[test]
+    fn cp_interval_brackets_the_empirical_rate() {
+        // The one-sided bounds must straddle x/n and tighten with n.
+        for (x, n) in [(3u64, 20u64), (17, 100), (250, 1000)] {
+            let rate = x as f64 / n as f64;
+            let lo = cp_lower(x, n, 0.01);
+            let hi = cp_upper(x, n, 0.01);
+            assert!(lo < rate && rate < hi, "({x},{n}): {lo} < {rate} < {hi}");
+        }
+        let wide = cp_upper(5, 50, 0.01) - cp_lower(5, 50, 0.01);
+        let tight = cp_upper(50, 500, 0.01) - cp_lower(50, 500, 0.01);
+        assert!(tight < wide, "more trials must tighten the interval");
+    }
+
+    #[test]
+    fn cp_bounds_have_exact_binomial_coverage_at_the_boundary() {
+        // By construction: at p = cp_lower(x, n, α), P(X ≥ x) = α.
+        let (x, n, alpha) = (9u64, 60u64, 0.01);
+        let lo = cp_lower(x, n, alpha);
+        assert!((1.0 - binomial_cdf(x - 1, n, lo) - alpha).abs() < 1e-9);
+        let hi = cp_upper(x, n, alpha);
+        assert!((binomial_cdf(x, n, hi) - alpha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ucb_sits_above_the_mean_by_the_z_margin() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        let s = w.summary();
+        let expect = s.mean + Z_99 * s.std_dev / 2.0;
+        assert!((w.mean_ucb(Z_99) - expect).abs() < 1e-12);
+        let mut constant = Welford::new();
+        constant.push(5.0);
+        constant.push(5.0);
+        assert_eq!(constant.mean_ucb(Z_99), 5.0);
+    }
+
+    #[test]
+    fn mean_lcb_mirrors_the_ucb_around_the_mean() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        let mean = w.mean();
+        assert!((w.mean_ucb(Z_99) - mean - (mean - w.mean_lcb(Z_99))).abs() < 1e-12);
+        assert!(w.mean_lcb(Z_99) < mean);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Negative-path coverage for the shared `exp_*` CLI: malformed
+//! `--obs-json` destinations must produce a clean diagnostic and exit
+//! code 1 (never a panic), and unknown flags must keep exiting 2.
+//!
+//! Drives the real `exp_fuzz` binary (the cheapest `exp_*` at a tiny
+//! campaign size) via `CARGO_BIN_EXE_`.
+
+use std::process::Command;
+
+/// A throwaway-cheap `exp_fuzz` invocation.
+fn exp_fuzz() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp_fuzz"));
+    cmd.env("SIFT_FUZZ_N", "3")
+        .env("SIFT_FUZZ_GENERATIONS", "1")
+        .env("SIFT_FUZZ_POPULATION", "2")
+        .env("SIFT_THREADS", "1")
+        .env_remove("SIFT_OBS_JSON");
+    cmd
+}
+
+#[test]
+fn unwritable_obs_json_parent_exits_cleanly() {
+    let dir = std::env::temp_dir().join(format!("sift-cli-neg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"file, not dir").unwrap();
+    let target = blocker.join("obs.json");
+
+    let out = exp_fuzz()
+        .arg("--obs-json")
+        .arg(&target)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("failed to write observations"),
+        "diagnostic missing: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic on I/O errors: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn malformed_obs_json_path_exits_cleanly() {
+    // An empty path can never be created, regardless of privileges, so
+    // this holds even in root-everything CI containers. (NUL-byte paths
+    // are covered by the `obs::try_finish` unit tests — argv cannot
+    // carry them.)
+    let out = exp_fuzz()
+        .arg("--obs-json")
+        .arg("")
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("failed to write observations"),
+        "diagnostic missing: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
+fn writable_obs_json_still_works_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("sift-cli-pos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = dir.join("obs.json");
+    let out = exp_fuzz()
+        .arg("--obs-json")
+        .arg(&target)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let body = std::fs::read_to_string(&target).unwrap();
+    assert!(body.starts_with('{'), "JSON object expected: {body}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_flags_keep_exiting_two() {
+    let out = exp_fuzz().arg("--no-such-flag").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--no-such-flag"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_fuzz_env_knob_exits_two_with_a_diagnostic() {
+    let out = exp_fuzz()
+        .env("SIFT_FUZZ_GENERATIONS", "zero")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SIFT_FUZZ_GENERATIONS"), "stderr: {stderr}");
+}

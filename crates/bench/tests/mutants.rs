@@ -1,0 +1,94 @@
+//! Mutation testing of the test-stack itself: the deliberately broken
+//! sifting variants behind `sift-core`'s `mutants` feature must be
+//! caught within the CI smoke budget, or the fuzzer and conformance
+//! layers are theater.
+//!
+//! Run with `cargo test -p sift-bench --features mutants --test mutants`
+//! (the `just conformance` / CI `conformance-smoke` recipes do).
+//!
+//! Division of labor (see `DESIGN.md`):
+//!
+//! * `BiasedCoin` is *statistical* — every single run looks fine, only
+//!   the disagreement rate is wrong, so the conformance layer's
+//!   Clopper–Pearson test must refute it.
+//! * `StuckRead` is *schedule-dependent* — reader-first interleavings
+//!   push a process past the exact `R`-step bound of Theorem 2, and its
+//!   persona convergence livelocks round-robin tails; the fuzzer must
+//!   find both and shrink the reproducible one to a minimal script.
+#![cfg(feature = "mutants")]
+
+use sift_bench::conformance;
+use sift_bench::fuzz::{run_fuzz_mutant, FuzzConfig};
+use sift_core::SiftingMutation;
+
+#[test]
+fn conformance_refutes_the_biased_coin_mutant() {
+    let results = conformance::run_sifting_mutant(1, SiftingMutation::BiasedCoin);
+    assert!(
+        !conformance::all_pass(&results),
+        "the biased-coin mutant must fail at least one sifting claim"
+    );
+    // The broken tail stops sifting, so specifically the disagreement
+    // bound must be excluded at 99% confidence.
+    let disagreement = results
+        .iter()
+        .find(|r| r.id == "mutant.T2.disagreement")
+        .expect("disagreement claim present");
+    assert!(
+        !disagreement.pass,
+        "ε-disagreement must be refuted, got: {disagreement:?}"
+    );
+}
+
+#[test]
+fn conformance_passes_the_identity_mutant() {
+    // `SiftingMutation::None` compiles the mutant plumbing but leaves
+    // the protocol intact: the same claims must still pass, so a
+    // failure above really is the mutation's doing.
+    let results = conformance::run_sifting_mutant(1, SiftingMutation::None);
+    assert!(
+        conformance::all_pass(&results),
+        "the identity mutant must pass every claim: {results:?}"
+    );
+}
+
+#[test]
+fn fuzzer_catches_and_shrinks_the_stuck_read_mutant() {
+    let report = run_fuzz_mutant(&FuzzConfig::default(), SiftingMutation::StuckRead);
+    assert!(
+        !report.violations.is_empty(),
+        "the stuck-read mutant must violate an invariant within the smoke budget"
+    );
+    // At least one violation must reproduce from its finite charged
+    // script and carry a shrunk, replayable FixedSchedule script.
+    let shrunk = report
+        .violations
+        .iter()
+        .filter_map(|v| v.failure.shrunk.as_ref().map(|s| (v, s)))
+        .min_by_key(|(_, s)| s.len())
+        .expect("at least one violation should shrink to a finite replay script");
+    let (violation, script) = shrunk;
+    assert!(
+        !script.is_empty() && script.len() <= violation.script.len(),
+        "shrinking must not grow the script"
+    );
+    assert!(
+        violation.failure.message.contains("step bound"),
+        "expected a step-bound violation, got: {}",
+        violation.failure.message
+    );
+    // The printed report is what CI surfaces on failure: it must carry
+    // the replay recipe.
+    let rendered = violation.to_string();
+    assert!(rendered.contains("FixedSchedule::from_indices"));
+}
+
+#[test]
+fn fuzzer_reports_no_violations_on_the_identity_mutant() {
+    let report = run_fuzz_mutant(&FuzzConfig::default(), SiftingMutation::None);
+    assert!(
+        report.violations.is_empty(),
+        "identity mutant must be clean, got: {}",
+        report.violations[0]
+    );
+}

@@ -1,0 +1,101 @@
+//! Seed-stability regression: golden digests for the fuzzer and the
+//! conformance suite.
+//!
+//! Both pipelines promise byte-identical results for a fixed seed,
+//! regardless of `SIFT_THREADS` — that promise is what makes CI
+//! failures replayable on a laptop and golden digests meaningful at
+//! all. These tests pin it twice over:
+//!
+//! 1. *Across thread counts*: the digest of one run must not move
+//!    between 1, 4, and 8 workers.
+//! 2. *Across history*: the digests must equal the hardcoded values
+//!    captured when this suite was written. Any intentional change to
+//!    schedule genomes, fingerprinting, claim definitions, or trial
+//!    seeding will shift them — bump the constants consciously in the
+//!    same commit and say why, exactly like a golden-file test.
+
+use sift_bench::fuzz::{run_fuzz, FuzzConfig};
+use sift_bench::{conformance, exec};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that touch the global thread override (integration
+/// tests in one binary may run concurrently).
+fn threads_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` under each thread override, restoring the default after.
+fn under_thread_counts(f: impl Fn() -> u64) -> Vec<u64> {
+    let digests = [1usize, 4, 8]
+        .into_iter()
+        .map(|t| {
+            exec::set_threads(t);
+            f()
+        })
+        .collect();
+    exec::set_threads(0);
+    digests
+}
+
+const FUZZ_GOLDEN: [(u64, u64); 3] = [
+    (1, 0x7fb12f871e2729a5),
+    (2, 0x31812e093604353c),
+    (3, 0x2a5d489b693f1499),
+];
+
+#[test]
+fn fuzzer_digests_match_golden_across_thread_counts() {
+    let _guard = threads_lock();
+    for (seed, golden) in FUZZ_GOLDEN {
+        let config = FuzzConfig {
+            seed,
+            ..FuzzConfig::default()
+        };
+        for (t, digest) in [1, 4, 8]
+            .into_iter()
+            .zip(under_thread_counts(|| run_fuzz(&config).digest()))
+        {
+            assert_eq!(
+                digest, golden,
+                "fuzz seed {seed} at {t} threads: digest {digest:#018x}, \
+                 golden {golden:#018x}"
+            );
+        }
+    }
+}
+
+const CONFORMANCE_GOLDEN: [(usize, u64); 3] = [
+    (1, 0x384ff6e9b823604d),
+    (2, 0x11afe05423e2dd3d),
+    (3, 0x38ef119c4456cee3),
+];
+
+#[test]
+fn conformance_digests_match_golden_across_thread_counts() {
+    let _guard = threads_lock();
+    for (scale, golden) in CONFORMANCE_GOLDEN {
+        for (t, digest) in [1, 4, 8].into_iter().zip(under_thread_counts(|| {
+            conformance::digest(&conformance::run(scale))
+        })) {
+            assert_eq!(
+                digest, golden,
+                "conformance scale {scale} at {t} threads: digest {digest:#018x}, \
+                 golden {golden:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conformance_keeps_passing_at_every_golden_scale() {
+    let _guard = threads_lock();
+    for (scale, _) in CONFORMANCE_GOLDEN {
+        let results = conformance::run(scale);
+        assert!(
+            conformance::all_pass(&results),
+            "scale {scale}: {:?}",
+            results.iter().filter(|r| !r.pass).collect::<Vec<_>>()
+        );
+    }
+}

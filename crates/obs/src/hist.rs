@@ -68,18 +68,28 @@ impl Histogram {
     }
 
     /// Records one observation of `value`.
+    ///
+    /// Bucket counts saturate at `u64::MAX` instead of overflowing —
+    /// a pinned count is a better failure mode for telemetry than a
+    /// debug panic or a silent release-mode wraparound to small values.
     pub fn record(&mut self, value: u64) {
-        self.counts[bucket_of(value)] += 1;
+        let b = bucket_of(value);
+        self.counts[b] = self.counts[b].saturating_add(1);
     }
 
-    /// Records `n` observations of `value`.
+    /// Records `n` observations of `value` (saturating, like
+    /// [`record`](Self::record)).
     pub fn record_n(&mut self, value: u64, n: u64) {
-        self.counts[bucket_of(value)] += n;
+        let b = bucket_of(value);
+        self.counts[b] = self.counts[b].saturating_add(n);
     }
 
-    /// Total number of recorded observations.
+    /// Total number of recorded observations, saturating at `u64::MAX`
+    /// when bucket counts sum past it.
     pub fn count(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// The raw bucket counts.
@@ -97,12 +107,14 @@ impl Histogram {
         self.counts.iter().all(|&c| c == 0)
     }
 
-    /// Absorbs `other` bucket-wise. Never loses counts: the merged
-    /// total is exactly the sum of the two totals. Commutative and
-    /// associative.
+    /// Absorbs `other` bucket-wise. Never loses counts below the
+    /// saturation point: the merged total is exactly the sum of the two
+    /// totals until a bucket pins at `u64::MAX`. Commutative and
+    /// associative (saturating addition of non-negative counts is
+    /// both).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 
@@ -175,9 +187,16 @@ impl AtomicHistogram {
         }
     }
 
-    /// Records one observation of `value` (relaxed).
+    /// Records one observation of `value` (relaxed, saturating).
+    ///
+    /// Saturation needs a CAS loop instead of `fetch_add`; the loop
+    /// only ever retries under contention on the *same* bucket, and a
+    /// pinned `u64::MAX` bucket never retries at all.
     pub fn record(&self, value: u64) {
-        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        let _ =
+            self.counts[bucket_of(value)].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c != u64::MAX).then(|| c + 1)
+            });
     }
 
     /// Freezes the current counts into a plain [`Histogram`]. Exact

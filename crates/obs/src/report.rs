@@ -72,10 +72,7 @@ impl ObsReport {
 
     /// Merges a pre-built histogram into the histogram `name`.
     pub fn merge_hist(&mut self, name: &str, hist: &Histogram) {
-        self.hists
-            .entry(name.to_string())
-            .or_default()
-            .merge(hist);
+        self.hists.entry(name.to_string()).or_default().merge(hist);
     }
 
     /// The value of counter `name` (0 when absent).
@@ -110,10 +107,7 @@ impl ObsReport {
             *slot = (*slot).max(v);
         }
         for (k, h) in &other.hists {
-            self.hists
-                .entry(k.clone())
-                .or_default()
-                .merge(h);
+            self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
 

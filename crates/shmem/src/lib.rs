@@ -57,11 +57,11 @@ pub mod runtime;
 pub mod snapshot;
 pub mod sync;
 
-pub use history::RecordingMemory;
+pub use history::{history_fingerprint, RecordingMemory};
 pub use indexed::{run_threads_lock_free, IndexedMemory};
 pub use memory::{AtomicMemory, CoarseMemory, ExecuteOps, LockFreeMemory, ObjectMemory};
 pub use persona_table::PersonaTable;
 pub use runtime::{
-    run_lockstep, run_lockstep_on, run_lockstep_recorded, run_threads, run_threads_recorded,
-    ThreadReport,
+    run_lockstep, run_lockstep_on, run_lockstep_recorded, run_script_on, run_threads,
+    run_threads_recorded, ThreadReport,
 };

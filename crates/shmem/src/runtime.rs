@@ -191,6 +191,57 @@ pub fn run_lockstep_recorded<P: Process>(
     (outputs, memory.into_history())
 }
 
+/// Replays a process-id script — e.g. a fuzzer corpus entry or a shrunk
+/// counterexample — against a caller-provided memory, mirroring the
+/// simulator engine's slot semantics exactly: each script slot executes
+/// the scheduled process's pending operation and immediately resumes
+/// the state machine, slots naming finished processes are free no-ops,
+/// and processes the script starves end with `None`.
+///
+/// This is the substrate half of the differential fuzz harness: the
+/// same script replayed here on [`LockFreeMemory`](crate::memory::
+/// LockFreeMemory) and [`CoarseMemory`](crate::memory::CoarseMemory)
+/// (or through the simulator's `replay_script`) must produce identical
+/// outputs.
+///
+/// # Panics
+///
+/// Panics if the script names a process index out of range.
+pub fn run_script_on<P: Process, M: crate::memory::ExecuteOps<P::Value>>(
+    memory: &M,
+    processes: Vec<P>,
+    script: &[usize],
+) -> Vec<Option<P::Output>> {
+    enum Slot<P: Process> {
+        Running { proc: P, pending: Op<P::Value> },
+        Done(P::Output),
+    }
+    let mut slots: Vec<Slot<P>> = processes
+        .into_iter()
+        .map(|mut proc| match proc.step(None) {
+            Step::Issue(op) => Slot::Running { proc, pending: op },
+            Step::Done(output) => Slot::Done(output),
+        })
+        .collect();
+    for &i in script {
+        assert!(i < slots.len(), "script names out-of-range process {i}");
+        if let Slot::Running { proc, pending } = &mut slots[i] {
+            let result = memory.execute(pending.clone());
+            match proc.step(Some(result)) {
+                Step::Issue(next) => *pending = next,
+                Step::Done(output) => slots[i] = Slot::Done(output),
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Running { .. } => None,
+            Slot::Done(output) => Some(output),
+        })
+        .collect()
+}
+
 /// A live process paired with the result of its last operation, or
 /// `None` once it has finished.
 type LockstepSlot<P> = Option<(P, Option<OpResult<<P as Process>::Value>>)>;
@@ -259,6 +310,68 @@ mod tests {
         }
         let rounds = c.rounds() as u64;
         assert!(report.ops.iter().all(|&o| o == rounds));
+    }
+
+    #[test]
+    fn script_replay_matches_the_simulator_engine() {
+        use sift_sim::mc::replay_script;
+        use sift_sim::schedule::RandomInterleave;
+        use sift_sim::Engine;
+
+        let n = 6;
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(11);
+        let make_procs = || -> Vec<_> {
+            (0..n)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), i as u64, &mut rng)
+                })
+                .collect()
+        };
+        // Record the charged slot script of a random interleaving.
+        let mut engine = Engine::new(&layout, make_procs());
+        engine.enable_trace();
+        let report = engine.run(RandomInterleave::new(n, 5));
+        let script: Vec<usize> = report
+            .trace
+            .as_ref()
+            .expect("trace enabled")
+            .events()
+            .iter()
+            .map(|e| e.pid.index())
+            .collect();
+
+        let sim_outputs = replay_script(&layout, make_procs(), &script);
+        let substrate_outputs = run_script_on(&AtomicMemory::new(&layout), make_procs(), &script);
+        assert_eq!(sim_outputs.len(), substrate_outputs.len());
+        for (a, b) in sim_outputs.iter().zip(&substrate_outputs) {
+            assert_eq!(a, b);
+        }
+        assert!(substrate_outputs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn script_replay_starves_unscheduled_processes() {
+        let n = 3;
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(12);
+        let procs: Vec<_> = (0..n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect();
+        // Only p0 is ever scheduled, and generously enough to finish.
+        let script = vec![0usize; 4 * c.rounds()];
+        let outputs = run_script_on(&AtomicMemory::new(&layout), procs, &script);
+        assert!(outputs[0].is_some());
+        assert!(outputs[1].is_none());
+        assert!(outputs[2].is_none());
     }
 
     #[test]

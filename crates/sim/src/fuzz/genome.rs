@@ -1,0 +1,384 @@
+//! Adversary-schedule genomes: the mutable blueprints the fuzzer evolves.
+//!
+//! A [`ScheduleGenome`] is a short program in a tiny strategy language
+//! ([`Gene`]): round-robin passes, seeded random interleavings, solo
+//! bursts targeting one persona's carrier, front-runner stalling
+//! (everyone *except* a victim runs), block-sequential phases, and crash
+//! injection. Compiling a genome yields a concrete oblivious schedule —
+//! the gene sequence is fixed before any process flips a coin, so the
+//! compiled schedule never depends on execution state, only on the
+//! genome and its embedded seeds (§1.1 obliviousness by construction).
+//!
+//! Crashes need no special engine support: a crashed process simply
+//! stops appearing in the compiled slot sequence, exactly like the
+//! finite-schedule crash encoding used by the model checker.
+
+use crate::ids::ProcessId;
+use crate::rng::Xoshiro256StarStar;
+use crate::schedule::Schedule;
+
+/// One strategy fragment of a schedule genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gene {
+    /// `rounds` full passes over the currently-alive processes in id
+    /// order.
+    RoundRobin {
+        /// Number of passes.
+        rounds: usize,
+    },
+    /// `slots` slots drawn uniformly (from `seed`) among alive
+    /// processes.
+    Random {
+        /// Seed of the gene's private slot-choice stream.
+        seed: u64,
+        /// Number of slots to emit.
+        slots: usize,
+    },
+    /// Each alive process solo for `per_proc` slots, in an order
+    /// shuffled from `seed` (block-sequential phases).
+    Block {
+        /// Seed of the gene's private shuffle stream.
+        seed: u64,
+        /// Slots given to each process before moving on.
+        per_proc: usize,
+    },
+    /// Front-runner stalling: `slots` slots round-robin over everyone
+    /// *except* the victim, starving it while the rest race ahead.
+    Stall {
+        /// Index of the starved process (taken modulo the alive count).
+        victim: usize,
+        /// Number of slots the victim is starved for.
+        slots: usize,
+    },
+    /// Persona targeting: one process runs solo for `slots` slots.
+    Solo {
+        /// Index of the favoured process (taken modulo the alive count).
+        pid: usize,
+        /// Number of consecutive slots it receives.
+        slots: usize,
+    },
+    /// Crash a process: it never appears in any later gene. Ignored if
+    /// it would crash the last alive process (wait-freedom needs a
+    /// survivor).
+    Crash {
+        /// Index of the crashed process (taken modulo the alive count).
+        victim: usize,
+    },
+}
+
+impl Gene {
+    fn random(n: usize, rng: &mut Xoshiro256StarStar) -> Gene {
+        let burst = (4 * n).max(4) as u64;
+        match rng.range_u64(6) {
+            0 => Gene::RoundRobin {
+                rounds: 1 + rng.range_u64(4) as usize,
+            },
+            1 => Gene::Random {
+                seed: rng.next_u64(),
+                slots: 1 + rng.range_u64(burst) as usize,
+            },
+            2 => Gene::Block {
+                seed: rng.next_u64(),
+                per_proc: 1 + rng.range_u64(8) as usize,
+            },
+            3 => Gene::Stall {
+                victim: rng.range_u64(n as u64) as usize,
+                slots: 1 + rng.range_u64(burst) as usize,
+            },
+            4 => Gene::Solo {
+                pid: rng.range_u64(n as u64) as usize,
+                slots: 1 + rng.range_u64(8) as usize,
+            },
+            _ => Gene::Crash {
+                victim: rng.range_u64(n as u64) as usize,
+            },
+        }
+    }
+}
+
+/// A mutable adversary blueprint: an ordered gene sequence for `n`
+/// processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleGenome {
+    genes: Vec<Gene>,
+}
+
+impl ScheduleGenome {
+    /// Builds a genome from explicit genes (tests, replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes` is empty.
+    pub fn from_genes(genes: Vec<Gene>) -> Self {
+        assert!(!genes.is_empty(), "a genome needs at least one gene");
+        Self { genes }
+    }
+
+    /// Draws a fresh random genome of 1–6 genes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random(n: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(n > 0, "need at least one process");
+        let count = 1 + rng.range_u64(6) as usize;
+        Self {
+            genes: (0..count).map(|_| Gene::random(n, rng)).collect(),
+        }
+    }
+
+    /// Produces a mutated copy: insert, delete, replace, or swap one
+    /// gene.
+    pub fn mutate(&self, n: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        let mut genes = self.genes.clone();
+        match rng.range_u64(4) {
+            0 => {
+                let at = rng.range_u64(genes.len() as u64 + 1) as usize;
+                genes.insert(at, Gene::random(n, rng));
+            }
+            1 if genes.len() > 1 => {
+                let at = rng.range_u64(genes.len() as u64) as usize;
+                genes.remove(at);
+            }
+            2 => {
+                let at = rng.range_u64(genes.len() as u64) as usize;
+                genes[at] = Gene::random(n, rng);
+            }
+            _ => {
+                let a = rng.range_u64(genes.len() as u64) as usize;
+                let b = rng.range_u64(genes.len() as u64) as usize;
+                genes.swap(a, b);
+            }
+        }
+        Self { genes }
+    }
+
+    /// The gene sequence.
+    pub fn genes(&self) -> &[Gene] {
+        &self.genes
+    }
+
+    /// Compiles the genome into a concrete oblivious schedule for `n`
+    /// processes: a finite slot prefix (every gene expanded against the
+    /// alive-set evolution) followed by an infinite round-robin tail
+    /// over the processes still alive at the end, which is the
+    /// schedule's [`support`](Schedule::support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn compile(&self, n: usize) -> GenomeSchedule {
+        assert!(n > 0, "need at least one process");
+        let mut alive: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let mut prefix = Vec::new();
+        for gene in &self.genes {
+            match *gene {
+                Gene::RoundRobin { rounds } => {
+                    for _ in 0..rounds {
+                        prefix.extend_from_slice(&alive);
+                    }
+                }
+                Gene::Random { seed, slots } => {
+                    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+                    for _ in 0..slots {
+                        prefix.push(alive[rng.range_u64(alive.len() as u64) as usize]);
+                    }
+                }
+                Gene::Block { seed, per_proc } => {
+                    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+                    let mut order = alive.clone();
+                    // Fisher–Yates from the gene's private stream.
+                    for i in (1..order.len()).rev() {
+                        let j = rng.range_u64(i as u64 + 1) as usize;
+                        order.swap(i, j);
+                    }
+                    for pid in order {
+                        for _ in 0..per_proc {
+                            prefix.push(pid);
+                        }
+                    }
+                }
+                Gene::Stall { victim, slots } => {
+                    let victim = alive[victim % alive.len()];
+                    let others: Vec<ProcessId> =
+                        alive.iter().copied().filter(|&p| p != victim).collect();
+                    // With one process alive there is no one else to run.
+                    let pool = if others.is_empty() { &alive } else { &others };
+                    for i in 0..slots {
+                        prefix.push(pool[i % pool.len()]);
+                    }
+                }
+                Gene::Solo { pid, slots } => {
+                    let pid = alive[pid % alive.len()];
+                    for _ in 0..slots {
+                        prefix.push(pid);
+                    }
+                }
+                Gene::Crash { victim } => {
+                    if alive.len() > 1 {
+                        alive.remove(victim % alive.len());
+                    }
+                }
+            }
+        }
+        GenomeSchedule {
+            prefix,
+            cursor: 0,
+            alive,
+            tail_pos: 0,
+        }
+    }
+}
+
+/// A compiled [`ScheduleGenome`]: finite prefix, then an infinite
+/// round-robin tail over the surviving (never-crashed) processes.
+#[derive(Debug, Clone)]
+pub struct GenomeSchedule {
+    prefix: Vec<ProcessId>,
+    cursor: usize,
+    alive: Vec<ProcessId>,
+    tail_pos: usize,
+}
+
+impl GenomeSchedule {
+    /// Length of the finite compiled prefix.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// The processes never crashed by the genome (the schedule support).
+    pub fn alive(&self) -> &[ProcessId] {
+        &self.alive
+    }
+}
+
+impl Schedule for GenomeSchedule {
+    fn next_pid(&mut self) -> Option<ProcessId> {
+        if self.cursor < self.prefix.len() {
+            let pid = self.prefix[self.cursor];
+            self.cursor += 1;
+            return Some(pid);
+        }
+        let pid = self.alive[self.tail_pos % self.alive.len()];
+        self.tail_pos += 1;
+        Some(pid)
+    }
+
+    fn support(&self) -> Vec<ProcessId> {
+        self.alive.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let g = ScheduleGenome::random(6, &mut rng(3));
+        let a = g.compile(6);
+        let b = g.compile(6);
+        assert_eq!(a.prefix, b.prefix);
+        assert_eq!(a.alive, b.alive);
+    }
+
+    #[test]
+    fn prefix_pids_are_in_range() {
+        for seed in 0..50 {
+            let g = ScheduleGenome::random(5, &mut rng(seed));
+            let s = g.compile(5);
+            assert!(s.prefix.iter().all(|p| p.index() < 5), "{:?}", g);
+        }
+    }
+
+    #[test]
+    fn crash_removes_from_support_and_later_genes() {
+        let g = ScheduleGenome::from_genes(vec![
+            Gene::Crash { victim: 0 },
+            Gene::RoundRobin { rounds: 1 },
+        ]);
+        let s = g.compile(3);
+        assert_eq!(s.alive(), &[ProcessId(1), ProcessId(2)]);
+        assert_eq!(s.prefix, vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn crash_never_empties_the_alive_set() {
+        let g = ScheduleGenome::from_genes(vec![
+            Gene::Crash { victim: 0 },
+            Gene::Crash { victim: 0 },
+            Gene::Crash { victim: 0 },
+        ]);
+        let s = g.compile(2);
+        assert_eq!(s.alive().len(), 1);
+    }
+
+    #[test]
+    fn stall_excludes_the_victim() {
+        let g = ScheduleGenome::from_genes(vec![Gene::Stall {
+            victim: 1,
+            slots: 6,
+        }]);
+        let s = g.compile(3);
+        assert!(s.prefix.iter().all(|&p| p != ProcessId(1)));
+        assert_eq!(s.prefix.len(), 6);
+    }
+
+    #[test]
+    fn stall_with_one_alive_falls_back_to_that_process() {
+        let g = ScheduleGenome::from_genes(vec![Gene::Stall {
+            victim: 0,
+            slots: 3,
+        }]);
+        let s = g.compile(1);
+        assert_eq!(s.prefix, vec![ProcessId(0); 3]);
+    }
+
+    #[test]
+    fn tail_round_robins_over_alive_forever() {
+        let g = ScheduleGenome::from_genes(vec![Gene::Crash { victim: 1 }]);
+        let mut s = g.compile(3);
+        assert_eq!(s.prefix_len(), 0);
+        let picked: Vec<ProcessId> = (0..5).map(|_| s.next_pid().unwrap()).collect();
+        assert_eq!(
+            picked,
+            vec![
+                ProcessId(0),
+                ProcessId(2),
+                ProcessId(0),
+                ProcessId(2),
+                ProcessId(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn mutate_keeps_genomes_compilable() {
+        let mut r = rng(9);
+        let mut g = ScheduleGenome::random(4, &mut r);
+        for _ in 0..100 {
+            g = g.mutate(4, &mut r);
+            assert!(!g.genes().is_empty());
+            let s = g.compile(4);
+            assert!(!s.alive().is_empty());
+        }
+    }
+
+    #[test]
+    fn solo_and_block_target_alive_processes_only() {
+        let g = ScheduleGenome::from_genes(vec![
+            Gene::Crash { victim: 0 },
+            Gene::Solo { pid: 0, slots: 2 },
+            Gene::Block {
+                seed: 5,
+                per_proc: 1,
+            },
+        ]);
+        let s = g.compile(2);
+        assert_eq!(s.prefix, vec![ProcessId(1); 3]);
+    }
+}

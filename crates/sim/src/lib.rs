@@ -58,6 +58,7 @@
 
 pub mod engine;
 pub mod explore;
+pub mod fuzz;
 pub mod ids;
 pub mod layout;
 pub mod max_register;

@@ -19,7 +19,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, RunReport};
 use crate::layout::Layout;
 use crate::mc::dependence::McEvent;
 use crate::mc::dpor::{explore_dpor, McError, McOptions, McStats};
@@ -35,9 +35,19 @@ pub fn replay_script<P: Process>(
     processes: Vec<P>,
     script: &[usize],
 ) -> Vec<Option<P::Output>> {
-    Engine::new(layout, processes)
-        .run(FixedSchedule::from_indices(script.iter().copied()))
-        .outputs
+    replay_report(layout, processes, script).outputs
+}
+
+/// Replays a process-id script deterministically and returns the full
+/// [`RunReport`] — outputs plus final process state machines, metrics,
+/// and memory — for properties that judge more than outputs (e.g. the
+/// fuzzer's survivor-monotonicity and step-bound checks).
+pub fn replay_report<P: Process>(
+    layout: &Layout,
+    processes: Vec<P>,
+    script: &[usize],
+) -> RunReport<P> {
+    Engine::new(layout, processes).run(FixedSchedule::from_indices(script.iter().copied()))
 }
 
 /// Extracts the replay script of an explored execution: the process ids
@@ -68,13 +78,35 @@ pub fn script_of_events(events: &[McEvent]) -> Vec<usize> {
 pub fn shrink_schedule<P, O>(
     layout: &Layout,
     factory: &impl Fn() -> Vec<P>,
-    mut script: Vec<usize>,
+    script: Vec<usize>,
     property: &impl Fn(&[Option<O>]) -> Result<(), String>,
 ) -> (Vec<usize>, String)
 where
     P: Process<Output = O>,
 {
-    let mut message = property(&replay_script(layout, factory(), &script))
+    shrink_schedule_with(layout, factory, script, &|report: &RunReport<P>| {
+        property(&report.outputs)
+    })
+}
+
+/// Like [`shrink_schedule`], but the property judges the full replay
+/// [`RunReport`] — final process state machines, metrics, and stop
+/// reason included — which is what the fuzzer's deterministic
+/// invariants (survivor monotonicity, exact step bounds) need.
+///
+/// # Panics
+///
+/// Panics if the initial `script` does not reproduce a failure.
+pub fn shrink_schedule_with<P>(
+    layout: &Layout,
+    factory: &impl Fn() -> Vec<P>,
+    mut script: Vec<usize>,
+    property: &impl Fn(&RunReport<P>) -> Result<(), String>,
+) -> (Vec<usize>, String)
+where
+    P: Process,
+{
+    let mut message = property(&replay_report(layout, factory(), &script))
         .expect_err("shrink_schedule requires a script that reproduces the violation");
     loop {
         let mut deleted_any = false;
@@ -82,7 +114,7 @@ where
         while i < script.len() {
             let mut candidate = script.clone();
             candidate.remove(i);
-            match property(&replay_script(layout, factory(), &candidate)) {
+            match property(&replay_report(layout, factory(), &candidate)) {
                 Err(msg) => {
                     script = candidate;
                     message = msg;

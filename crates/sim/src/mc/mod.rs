@@ -30,7 +30,8 @@ pub mod linearize;
 pub mod naive;
 
 pub use counterexample::{
-    check_dpor, replay_script, script_of_events, shrink_schedule, CheckError, Violation,
+    check_dpor, replay_report, replay_script, script_of_events, shrink_schedule,
+    shrink_schedule_with, CheckError, Violation,
 };
 pub use dependence::{trace_signature, Access, McEvent, ObjectKey};
 pub use dpor::{explore_dpor, McError, McOptions, McStats, RawViolation};

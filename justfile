@@ -54,8 +54,24 @@ test-obs:
     cargo test -q -p sift-shmem --features obs
     cargo test -q -p sift-bench --features obs
 
+# The statistical conformance suite (E22): every quantitative claim of
+# the paper as a one-sided 99% hypothesis test, plus the mutation tests
+# proving that broken sifters are refuted. SIFT_TRIALS scales the
+# per-claim trial counts (default 1 = the smoke tier CI gates on;
+# nightly runs use a larger scale).
+conformance:
+    cargo run --release -p sift-bench --bin exp_conformance
+    cargo test -q --release -p sift-bench --features mutants --test mutants
+    cargo test -q --release -p sift-bench --test seed_stability
+
+# A coverage-guided adversary fuzzing campaign against the sifting
+# conciliator's schedule-independent invariants. Knobs:
+# SIFT_FUZZ_{N,GENERATIONS,POPULATION,SEED,OUT}.
+fuzz:
+    cargo run --release -p sift-bench --bin exp_fuzz
+
 # Everything CI runs.
-ci: fmt-check clippy tier1 test-coarse test-obs mc determinism
+ci: fmt-check clippy tier1 test-coarse test-obs mc determinism conformance
 
 # Regenerate the recorded experiment output (uses all cores).
 experiments:

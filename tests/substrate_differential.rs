@@ -10,9 +10,11 @@
 //! object semantics the protocols are verified against.
 
 use sift::core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
-use sift::shmem::{run_lockstep_on, CoarseMemory, LockFreeMemory};
+use sift::shmem::{run_lockstep_on, run_script_on, AtomicMemory, CoarseMemory, LockFreeMemory};
+use sift::sim::mc::replay_report;
 use sift::sim::rng::SeedSplitter;
 use sift::sim::{LayoutBuilder, Op, ProcessId};
+use sift_bench::fuzz::{run_fuzz, FuzzConfig};
 
 /// Raw-operation differential: every operation of a seeded mixed
 /// workload must produce byte-identical results on both substrates when
@@ -71,6 +73,83 @@ fn sifting_conciliator_outcomes_agree_across_substrates() {
         let on_lockfree = run_lockstep_on(&LockFreeMemory::new(&layout), make_procs());
         let on_coarse = run_lockstep_on(&CoarseMemory::new(&layout), make_procs());
         assert_eq!(on_lockfree, on_coarse, "seed {seed}");
+    }
+}
+
+/// The fuzzer's coverage-novel schedules, replayed as differential
+/// inputs: every corpus script — an adversary interleaving the fuzzer
+/// found interesting enough to keep — must drive both substrates *and*
+/// the simulator engine to identical decisions (and hence identical
+/// survivor sets). Coverage-guided schedules exercise interleavings
+/// hand-written differential seeds never reach: solo bursts, stalled
+/// front-runners, crash-truncated prefixes.
+///
+/// Runs against the [`AtomicMemory`] alias, so executing the test suite
+/// once with the default substrate and once under
+/// `--features coarse-substrate` (the `just test-coarse` tier) is the
+/// cross-configuration half of the differential.
+#[test]
+fn fuzz_corpus_replays_agree_across_substrates_and_engine() {
+    let config = FuzzConfig {
+        n: 6,
+        generations: 4,
+        population: 8,
+        seed: 0xD1FF,
+    };
+    let campaign = run_fuzz(&config);
+    assert!(
+        campaign.violations.is_empty(),
+        "the unmodified sifter must be clean: {}",
+        campaign.violations[0]
+    );
+    assert!(
+        !campaign.corpus_scripts.is_empty(),
+        "corpus must not be empty"
+    );
+
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, config.n, Epsilon::HALF);
+    let layout = b.build();
+    let make_procs = |seed: u64| {
+        let split = SeedSplitter::new(seed);
+        (0..config.n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    for (idx, script) in campaign.corpus_scripts.iter().enumerate() {
+        // Corpus scripts name processes 0..n of the campaign's size.
+        let seed = 900 + idx as u64;
+        let on_engine = replay_report(&layout, make_procs(seed), script).outputs;
+        let on_atomic = run_script_on(&AtomicMemory::new(&layout), make_procs(seed), script);
+        let on_lockfree = run_script_on(&LockFreeMemory::new(&layout), make_procs(seed), script);
+        let on_coarse = run_script_on(&CoarseMemory::new(&layout), make_procs(seed), script);
+        assert_eq!(
+            on_engine, on_atomic,
+            "corpus script {idx}: engine vs atomic"
+        );
+        assert_eq!(
+            on_lockfree, on_coarse,
+            "corpus script {idx}: lock-free vs coarse"
+        );
+        // Survivor sets: the distinct decided personas must coincide.
+        // Personas are identified by their origin process (no Ord on
+        // the full struct), which is exactly the survivor identity the
+        // round histories track.
+        let survivors = |outs: &[Option<sift::core::Persona>]| {
+            let mut s: Vec<_> = outs.iter().flatten().map(|p| p.origin()).collect();
+            s.sort();
+            s.dedup();
+            s
+        };
+        assert_eq!(
+            survivors(&on_engine),
+            survivors(&on_coarse),
+            "corpus script {idx}: survivor sets diverge"
+        );
     }
 }
 
