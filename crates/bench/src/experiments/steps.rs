@@ -25,7 +25,21 @@ pub fn run() -> Vec<Table> {
         ],
     );
     let eps = Epsilon::HALF;
-    for &n in &[4usize, 16, 256, 4096, 65_536, 1 << 20] {
+    // Decimal large-n rows (10^4, 10^5, 10^6) ride alongside the
+    // original power-of-two sweep: the event engine makes the
+    // million-process rows a few seconds of work, and the decimal
+    // points line up with the BENCH_sim.json throughput sweep.
+    for &n in &[
+        4usize,
+        16,
+        256,
+        4096,
+        10_000,
+        65_536,
+        100_000,
+        1_000_000,
+        1 << 20,
+    ] {
         // Algorithm 1 is measured through its max-register variant
         // (footnote 1) so the sweep reaches 2^20 processes; step counts
         // are identical to the snapshot version by construction.

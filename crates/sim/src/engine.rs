@@ -1,5 +1,6 @@
-//! The execution engine: drives process state machines under an
-//! oblivious-adversary schedule against simulated shared memory.
+//! The execution engine: a discrete-event core driving process state
+//! machines under an oblivious-adversary schedule against simulated
+//! shared memory.
 //!
 //! Semantics (matching §1.1 of the paper):
 //!
@@ -15,14 +16,33 @@
 //! it, so the *next* operation is ready for the process's next slot, and
 //! a process whose final operation completes needs no extra slot to
 //! return its output.
+//!
+//! ## The event core
+//!
+//! Internally the engine treats the schedule as an event stream: slots
+//! are prefetched in flat buckets (a calendar queue keyed by schedule
+//! position, [`event::SlotQueue`](crate::event)) whenever the schedule
+//! declares itself
+//! [`completion_oblivious`](crate::schedule::Schedule::completion_oblivious),
+//! and process state machines live in an arena addressed through a
+//! dense `ProcessId → slot` table
+//! ([`event::ProcessTable`](crate::event)). With
+//! [`Engine::lazy`], processes (and, via the paged
+//! [`Memory`](crate::memory::Memory), their registers) materialize on
+//! first touch: a schedule that only ever exercises 100 of a million
+//! declared processes allocates proportionally to those 100. The
+//! pre-refactor per-step loop survives as
+//! [`LegacyEngine`](crate::legacy::LegacyEngine), and the regression
+//! suite holds the two bit-identical on every shipped schedule family.
 
+use crate::event::{ProcessTable, SlotQueue, Touched};
 use crate::ids::ProcessId;
 use crate::layout::Layout;
 use crate::memory::Memory;
 use crate::metrics::Metrics;
 use crate::obs::RingSink;
 use crate::op::Op;
-use crate::process::{Process, Step};
+use crate::process::Process;
 use crate::schedule::Schedule;
 use crate::trace::{Trace, TraceEvent};
 
@@ -35,19 +55,6 @@ pub enum StopReason {
     ScheduleExhausted,
     /// The configured slot limit was reached.
     SlotLimit,
-}
-
-enum Slot<P: Process> {
-    Running {
-        proc: P,
-        pending: Option<Op<P::Value>>,
-    },
-    Done {
-        proc: P,
-        output: P::Output,
-    },
-    /// Transient state while a slot is being advanced.
-    Vacant,
 }
 
 /// The engine owning memory, processes, and accounting for one run.
@@ -82,12 +89,11 @@ enum Slot<P: Process> {
 /// ```
 pub struct Engine<P: Process> {
     memory: Memory<P::Value>,
-    slots: Vec<Slot<P>>,
+    table: ProcessTable<P>,
     metrics: Metrics,
     trace: Option<Trace>,
     ring: Option<RingSink>,
     slot_limit: u64,
-    live: usize,
 }
 
 impl<P: Process> Engine<P> {
@@ -100,28 +106,48 @@ impl<P: Process> Engine<P> {
     /// non-default [`CostModel`](crate::memory::CostModel)).
     pub fn with_memory(memory: Memory<P::Value>, processes: Vec<P>) -> Self {
         let n = processes.len();
-        let mut live = 0;
-        let slots = processes
-            .into_iter()
-            .map(|mut proc| match proc.step(None) {
-                Step::Issue(op) => {
-                    live += 1;
-                    Slot::Running {
-                        proc,
-                        pending: Some(op),
-                    }
-                }
-                Step::Done(output) => Slot::Done { proc, output },
-            })
-            .collect();
         Self {
             memory,
-            slots,
+            table: ProcessTable::eager(processes),
             metrics: Metrics::new(n),
             trace: None,
             ring: None,
             slot_limit: u64::MAX,
-            live,
+        }
+    }
+
+    /// Creates a **lazily materializing** engine over `n` processes:
+    /// `factory(pid)` builds a process the first time the schedule
+    /// touches it, and processes never touched cost four bytes of
+    /// index space. Combined with the paged [`Memory`], building an
+    /// engine for `n = 10^6` and running a 100-process schedule
+    /// allocates proportionally to the 100 touched processes.
+    ///
+    /// Semantics differ from the eager constructor in exactly one
+    /// place: a process whose first step returns `Done` without issuing
+    /// any operation announces its completion
+    /// ([`Schedule::on_done`]) at its first scheduled slot (which is
+    /// charged as a free skip) instead of before the run — an untouched
+    /// process cannot be observed at all. Use [`Engine::run_sparse`] to
+    /// keep the report proportional to the touched set; [`Engine::run`]
+    /// materializes the remainder at report time to stay dense.
+    pub fn lazy(layout: &Layout, n: usize, factory: impl FnMut(ProcessId) -> P + 'static) -> Self {
+        Self::lazy_with_memory(Memory::new(layout), n, factory)
+    }
+
+    /// [`Engine::lazy`] over explicitly constructed memory.
+    pub fn lazy_with_memory(
+        memory: Memory<P::Value>,
+        n: usize,
+        factory: impl FnMut(ProcessId) -> P + 'static,
+    ) -> Self {
+        Self {
+            memory,
+            table: ProcessTable::lazy(n, Box::new(factory)),
+            metrics: Metrics::new(0),
+            trace: None,
+            ring: None,
+            slot_limit: u64::MAX,
         }
     }
 
@@ -147,7 +173,9 @@ impl<P: Process> Engine<P> {
 
     /// Caps the number of *charged* slots; the run stops with
     /// [`StopReason::SlotLimit`] when reached. Useful for protocols with
-    /// unbounded worst cases (e.g. Chor–Israeli–Li).
+    /// unbounded worst cases (e.g. Chor–Israeli–Li). Accounting
+    /// saturates, so a budget hit mid-round at any scale is a clean
+    /// stop, never an overflow.
     pub fn limit_slots(&mut self, limit: u64) -> &mut Self {
         self.slot_limit = limit;
         self
@@ -155,24 +183,18 @@ impl<P: Process> Engine<P> {
 
     /// Number of processes.
     pub fn process_count(&self) -> usize {
-        self.slots.len()
+        self.table.n()
     }
 
-    fn advance(&mut self, pid: ProcessId, schedule: &mut impl Schedule) -> bool {
-        let slot = &mut self.slots[pid.index()];
-        let (mut proc, op) = match std::mem::replace(slot, Slot::Vacant) {
-            Slot::Running { proc, pending } => (
-                proc,
-                pending.expect("running process always has a pending op"),
-            ),
-            done @ Slot::Done { .. } => {
-                *slot = done;
-                self.metrics.record_skip();
-                return false;
-            }
-            Slot::Vacant => unreachable!("vacant slot outside advance"),
-        };
+    /// Number of processes materialized so far — an allocation probe
+    /// for the lazy-engine guarantee (equals
+    /// [`process_count`](Self::process_count) for eager engines).
+    pub fn materialized_count(&self) -> usize {
+        self.table.materialized()
+    }
 
+    fn advance(&mut self, pid: ProcessId, slot: usize, schedule: &mut impl Schedule) -> bool {
+        let op = self.table.take_pending(slot);
         let kind = op.kind();
         let cost = self.memory.cost(&op);
         let result = self.memory.execute(op);
@@ -189,21 +211,11 @@ impl<P: Process> Engine<P> {
         }
         self.metrics.record(pid.index(), kind, cost);
 
-        match proc.step(Some(result)) {
-            Step::Issue(next) => {
-                self.slots[pid.index()] = Slot::Running {
-                    proc,
-                    pending: Some(next),
-                };
-                false
-            }
-            Step::Done(output) => {
-                self.slots[pid.index()] = Slot::Done { proc, output };
-                self.live -= 1;
-                schedule.on_done(pid);
-                true
-            }
+        let finished = self.table.resume(slot, result);
+        if finished {
+            schedule.on_done(pid);
         }
+        finished
     }
 
     /// Runs under an **adaptive adversary**: before every step,
@@ -223,115 +235,174 @@ impl<P: Process> Engine<P> {
     /// # Panics
     ///
     /// Panics if `chooser` returns an id that is out of range or
-    /// already finished.
+    /// already finished, or if the engine was built with
+    /// [`Engine::lazy`] (an adaptive adversary must see every live
+    /// process, so all of them have to exist).
     pub fn run_adaptive(
         mut self,
         mut chooser: impl FnMut(AdaptiveView<'_, P>) -> ProcessId,
     ) -> RunReport<P> {
+        assert!(
+            !self.table.is_lazy(),
+            "adaptive runs require an eager engine: the adversary inspects every live process"
+        );
         let reason = loop {
-            if self.live == 0 {
+            if self.table.live() == 0 {
                 break StopReason::AllDone;
             }
-            if self.metrics.total_ops + self.metrics.skipped_slots >= self.slot_limit {
+            if self.metrics.scheduled_slots() >= self.slot_limit {
                 break StopReason::SlotLimit;
             }
-            let live: Vec<(ProcessId, &P, &Op<P::Value>)> = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(i, slot)| match slot {
-                    Slot::Running { proc, pending } => Some((
-                        ProcessId(i),
-                        proc,
-                        pending.as_ref().expect("running process has a pending op"),
-                    )),
-                    _ => None,
-                })
-                .collect();
+            let live = self.table.live_view();
             let pid = chooser(AdaptiveView {
                 live: &live,
                 memory: &self.memory,
             });
-            assert!(
-                matches!(self.slots.get(pid.index()), Some(Slot::Running { .. })),
-                "adaptive adversary chose non-live {pid}"
-            );
+            drop(live);
+            let slot = self.table.running_slot(pid);
+            let slot = slot.unwrap_or_else(|| panic!("adaptive adversary chose non-live {pid}"));
             let mut noop = NoopSchedule;
-            self.advance(pid, &mut noop);
+            self.advance(pid, slot, &mut noop);
         };
         self.into_report(reason)
     }
 
-    /// Runs to completion under `schedule` and returns the report.
+    /// Runs to completion under `schedule` and returns the dense,
+    /// pid-indexed report. A lazy engine materializes its untouched
+    /// processes at report time; use [`run_sparse`](Self::run_sparse)
+    /// to keep the report proportional to the touched set.
     ///
     /// # Panics
     ///
     /// Panics if the schedule yields a process id out of range.
-    pub fn run(mut self, mut schedule: impl Schedule) -> RunReport<P> {
-        let support = schedule.support();
-        let support_total = support.len();
-        let mut support_done = support
-            .iter()
-            .filter(|pid| matches!(self.slots[pid.index()], Slot::Done { .. }))
-            .count();
-        // Tell the schedule about processes that finished without taking
-        // any steps (their first `step(None)` returned `Done`).
-        for (i, slot) in self.slots.iter().enumerate() {
-            if matches!(slot, Slot::Done { .. }) {
-                schedule.on_done(ProcessId(i));
-            }
-        }
-
-        let mut in_support = vec![false; self.slots.len()];
-        for pid in &support {
-            in_support[pid.index()] = true;
-        }
-
-        let reason = loop {
-            if self.live == 0 || (support_total > 0 && support_done == support_total) {
-                break StopReason::AllDone;
-            }
-            if self.metrics.total_ops + self.metrics.skipped_slots >= self.slot_limit {
-                break StopReason::SlotLimit;
-            }
-            match schedule.next_pid() {
-                None => break StopReason::ScheduleExhausted,
-                Some(pid) => {
-                    assert!(
-                        pid.index() < self.slots.len(),
-                        "schedule produced out-of-range {pid}"
-                    );
-                    let finished = self.advance(pid, &mut schedule);
-                    if finished && (support_total == 0 || in_support[pid.index()]) {
-                        support_done += 1;
-                    }
-                }
-            }
-        };
-
+    pub fn run(mut self, schedule: impl Schedule) -> RunReport<P> {
+        let reason = self.run_inner(schedule);
         self.into_report(reason)
     }
 
-    fn into_report(self, reason: StopReason) -> RunReport<P> {
-        let mut outputs = Vec::with_capacity(self.slots.len());
-        let mut processes = Vec::with_capacity(self.slots.len());
-        for slot in self.slots {
-            match slot {
-                Slot::Running { proc, .. } => {
-                    outputs.push(None);
-                    processes.push(proc);
-                }
-                Slot::Done { proc, output } => {
-                    outputs.push(Some(output));
-                    processes.push(proc);
-                }
-                Slot::Vacant => unreachable!("vacant slot after run"),
+    /// Runs to completion under `schedule` and reports **only the
+    /// touched processes**, in touch order. This is the scale path: a
+    /// lazy million-process engine driven by a finite schedule returns
+    /// a report proportional to the processes the schedule exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule yields a process id out of range.
+    pub fn run_sparse(mut self, schedule: impl Schedule) -> SparseReport<P> {
+        let reason = self.run_inner(schedule);
+        let process_count = self.table.n();
+        let entries = self
+            .table
+            .into_entries()
+            .into_iter()
+            .map(|(pid, process, output)| SparseEntry {
+                pid,
+                process,
+                output,
+            })
+            .collect();
+        SparseReport {
+            process_count,
+            entries,
+            metrics: self.metrics,
+            memory: self.memory,
+            trace: self.trace,
+            ring: self.ring,
+            stop_reason: reason,
+        }
+    }
+
+    fn run_inner(&mut self, mut schedule: impl Schedule) -> StopReason {
+        let support = schedule.support();
+        let support_total = support.len();
+        // Legacy order: count finished support members, then tell the
+        // schedule about every process that finished without taking any
+        // steps (their first `step(None)` returned `Done`). A lazy
+        // table has materialized nothing yet, so these loops see only
+        // eagerly built processes.
+        let mut support_done = support
+            .iter()
+            .filter(|pid| self.table.is_pid_done(**pid))
+            .count();
+        let done_at_start: Vec<ProcessId> = self
+            .table
+            .slots()
+            .filter(|&(slot, _)| self.table.is_done(slot))
+            .map(|(_, pid)| pid)
+            .collect();
+        for pid in done_at_start {
+            schedule.on_done(pid);
+        }
+
+        let mut in_support = crate::event::BitSet::new(self.table.n());
+        for pid in &support {
+            in_support.set(pid.index());
+        }
+
+        let mut queue = SlotQueue::new(schedule.completion_oblivious());
+        loop {
+            if self.table.all_done() || (support_total > 0 && support_done == support_total) {
+                break StopReason::AllDone;
             }
+            if self.metrics.scheduled_slots() >= self.slot_limit {
+                break StopReason::SlotLimit;
+            }
+            let Some(pid) = queue.pop(&mut schedule) else {
+                break StopReason::ScheduleExhausted;
+            };
+            let Touched {
+                slot,
+                instantly_done,
+            } = self.table.touch(pid);
+            if instantly_done {
+                // First touch materialized a process that finished
+                // without issuing any operation: the slot is a free
+                // skip, and the completion notification that eager
+                // construction would have delivered before the run
+                // fires now.
+                self.metrics.record_skip();
+                schedule.on_done(pid);
+                if support_total == 0 || in_support.get(pid.index()) {
+                    support_done += 1;
+                }
+                continue;
+            }
+            if self.table.is_done(slot) {
+                self.metrics.record_skip();
+                continue;
+            }
+            let finished = self.advance(pid, slot, &mut schedule);
+            if finished && (support_total == 0 || in_support.get(pid.index())) {
+                support_done += 1;
+            }
+        }
+    }
+
+    fn into_report(mut self, reason: StopReason) -> RunReport<P> {
+        let n = self.table.n();
+        // A lazy run materializes its untouched remainder now (in pid
+        // order, deterministically) so the report stays dense; their
+        // pending first operations were never executed, exactly like a
+        // never-scheduled process under the legacy engine.
+        for i in 0..n {
+            let _ = self.table.touch(ProcessId(i));
+        }
+        // Dense reports expose per-process metrics for every pid.
+        self.metrics.pad_processes(n);
+
+        let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut processes: Vec<Option<P>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (pid, proc, output) in self.table.into_entries() {
+            outputs[pid.index()] = output;
+            processes[pid.index()] = Some(proc);
         }
 
         RunReport {
             outputs,
-            processes,
+            processes: processes
+                .into_iter()
+                .map(|p| p.expect("every pid materialized above"))
+                .collect(),
             metrics: self.metrics,
             memory: self.memory,
             trace: self.trace,
@@ -422,12 +493,74 @@ where
     }
 }
 
+/// One touched process in a [`SparseReport`].
+#[derive(Debug)]
+pub struct SparseEntry<P: Process> {
+    /// The process id.
+    pub pid: ProcessId,
+    /// The (final-state) state machine.
+    pub process: P,
+    /// Its output, if it finished.
+    pub output: Option<P::Output>,
+}
+
+/// The report of [`Engine::run_sparse`]: everything known after a run,
+/// sized by the *touched* process set rather than the declared one.
+pub struct SparseReport<P: Process> {
+    /// Declared process count (touched or not).
+    pub process_count: usize,
+    /// Touched processes in touch order.
+    pub entries: Vec<SparseEntry<P>>,
+    /// Step accounting (per-process vectors cover pids up to the
+    /// highest touched).
+    pub metrics: Metrics,
+    /// Final memory state.
+    pub memory: Memory<P::Value>,
+    /// The execution trace, if recording was enabled.
+    pub trace: Option<Trace>,
+    /// The bounded step-event ring, if enabled.
+    pub ring: Option<RingSink>,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
+}
+
+impl<P: Process> SparseReport<P> {
+    /// Number of processes the schedule touched.
+    pub fn touched_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(pid, output)` of touched processes that
+    /// finished.
+    pub fn decided(&self) -> impl Iterator<Item = (ProcessId, &P::Output)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.output.as_ref().map(|o| (e.pid, o)))
+    }
+}
+
+impl<P: Process> SparseReport<P>
+where
+    P::Output: PartialEq,
+{
+    /// Returns `true` if all decided outputs are equal (vacuously true
+    /// when fewer than two touched processes decided).
+    pub fn outputs_agree(&self) -> bool {
+        let mut decided = self.decided().map(|(_, o)| o);
+        match decided.next() {
+            None => true,
+            Some(first) => decided.all(|o| o == first),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ids::RegisterId;
     use crate::layout::LayoutBuilder;
     use crate::op::OpResult;
+    use crate::process::Step;
     use crate::schedule::{FixedSchedule, RoundRobin};
 
     /// Writes `input` to the register, reads it back, returns what it saw.
@@ -648,5 +781,120 @@ mod tests {
         let report =
             Engine::new(&layout, vec![WriteRead::new(r, 9)]).run(FixedSchedule::from_indices([0]));
         let _ = report.unwrap_outputs();
+    }
+
+    #[test]
+    fn lazy_engine_materializes_only_touched_processes() {
+        let (layout, r) = one_register();
+        let engine = Engine::lazy(&layout, 1_000_000, move |pid| {
+            WriteRead::new(r, pid.index() as u32)
+        });
+        assert_eq!(engine.process_count(), 1_000_000);
+        assert_eq!(engine.materialized_count(), 0);
+        // Touch only processes 5 and 17.
+        let report = engine.run_sparse(FixedSchedule::from_indices([5, 5, 5, 17, 17, 17]));
+        assert_eq!(report.touched_count(), 2);
+        assert_eq!(report.process_count, 1_000_000);
+        assert_eq!(report.stop_reason, StopReason::ScheduleExhausted);
+        let decided: Vec<(ProcessId, u32)> = report.decided().map(|(pid, &o)| (pid, o)).collect();
+        assert_eq!(decided, vec![(ProcessId(5), 5), (ProcessId(17), 17)]);
+    }
+
+    #[test]
+    fn lazy_dense_run_matches_eager_on_full_schedules() {
+        let (layout, r) = one_register();
+        let eager = Engine::new(&layout, (0..4).map(|i| WriteRead::new(r, i)).collect())
+            .run(RoundRobin::new(4));
+        let lazy = Engine::lazy(&layout, 4, move |pid| WriteRead::new(r, pid.index() as u32))
+            .run(RoundRobin::new(4));
+        assert_eq!(eager.outputs, lazy.outputs);
+        assert_eq!(eager.metrics, lazy.metrics);
+        assert_eq!(eager.stop_reason, lazy.stop_reason);
+    }
+
+    #[test]
+    fn lazy_dense_report_covers_untouched_processes() {
+        let (layout, r) = one_register();
+        let report = Engine::lazy(&layout, 6, move |pid| WriteRead::new(r, pid.index() as u32))
+            .run(FixedSchedule::from_indices([1, 1, 1]));
+        assert_eq!(report.outputs.len(), 6);
+        assert_eq!(report.processes.len(), 6);
+        assert_eq!(report.outputs[1], Some(1));
+        assert!(report
+            .outputs
+            .iter()
+            .enumerate()
+            .all(|(i, o)| i == 1 || o.is_none()));
+        assert_eq!(report.metrics.per_process_ops.len(), 6);
+    }
+
+    #[test]
+    fn lazy_instantly_done_process_charges_a_skip_on_first_touch() {
+        struct Instant;
+        impl Process for Instant {
+            type Value = u32;
+            type Output = u8;
+            fn step(&mut self, _prev: Option<OpResult<u32>>) -> Step<u32, u8> {
+                Step::Done(9)
+            }
+        }
+        let (layout, _r) = one_register();
+        let report =
+            Engine::lazy(&layout, 8, |_| Instant).run_sparse(FixedSchedule::from_indices([3, 3]));
+        assert_eq!(report.metrics.skipped_slots, 2);
+        assert_eq!(report.metrics.total_ops, 0);
+        assert_eq!(report.touched_count(), 1);
+        assert_eq!(report.entries[0].output, Some(9));
+    }
+
+    #[test]
+    fn lazy_run_terminates_when_support_completes() {
+        let (layout, r) = one_register();
+        // RoundRobin over all 4: support is everyone; the lazy engine
+        // must still stop with AllDone once the last one finishes.
+        let report = Engine::lazy(&layout, 4, move |pid| WriteRead::new(r, pid.index() as u32))
+            .run_sparse(RoundRobin::new(4));
+        assert_eq!(report.stop_reason, StopReason::AllDone);
+        assert_eq!(report.touched_count(), 4);
+        assert!(report.decided().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive runs require an eager engine")]
+    fn lazy_adaptive_run_is_rejected() {
+        let (layout, r) = one_register();
+        let _ = Engine::lazy(&layout, 2, move |pid| WriteRead::new(r, pid.index() as u32))
+            .run_adaptive(|view| view.live[0].0);
+    }
+
+    #[test]
+    fn slot_limit_hit_mid_round_is_a_clean_stop() {
+        // The hardening negative test: a budget that lands mid-round at
+        // a large-ish n must produce SlotLimit — never a panic or a
+        // wrapped counter — and the accounting must equal the budget.
+        let n = 1_000;
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let layout = b.build();
+        let mut engine = Engine::lazy(&layout, n, move |pid| WriteRead::new(r, pid.index() as u32));
+        let limit = (n as u64 * 3) / 2 + 7; // mid second round, odd offset
+        engine.limit_slots(limit);
+        let report = engine.run_sparse(RoundRobin::new(n));
+        assert_eq!(report.stop_reason, StopReason::SlotLimit);
+        assert_eq!(report.metrics.scheduled_slots(), limit);
+        let undecided = report.entries.iter().filter(|e| e.output.is_none()).count();
+        assert!(undecided > 0, "budget landed mid-round");
+    }
+
+    #[test]
+    fn saturated_slot_accounting_still_stops() {
+        // Even a metrics state at the numeric ceiling stops cleanly.
+        let (layout, r) = one_register();
+        let mut engine = Engine::new(&layout, vec![WriteRead::new(r, 1)]);
+        engine.limit_slots(u64::MAX);
+        engine.metrics.total_ops = u64::MAX - 1;
+        engine.metrics.skipped_slots = u64::MAX - 1;
+        let report = engine.run(RoundRobin::new(1));
+        assert_eq!(report.stop_reason, StopReason::SlotLimit);
     }
 }

@@ -267,6 +267,11 @@ impl Schedule for GenomeSchedule {
     fn support(&self) -> Vec<ProcessId> {
         self.alive.clone()
     }
+
+    fn completion_oblivious(&self) -> bool {
+        // Prefix and round-robin tail are compiled before the run.
+        true
+    }
 }
 
 #[cfg(test)]

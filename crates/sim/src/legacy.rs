@@ -1,0 +1,264 @@
+//! The pre-refactor step-loop engine, preserved verbatim as a
+//! differential oracle.
+//!
+//! [`LegacyEngine`] is the original `Engine` implementation: a
+//! `Vec<Slot<P>>` indexed by process id, one virtual `next_pid` pull
+//! and one enum-tag match per scheduled slot, every process and
+//! register allocated eagerly at construction. It produces the same
+//! [`RunReport`] type as the event engine, so the regression suite can
+//! assert bit-identical outputs, metrics, traces, and stop reasons
+//! between the two on any schedule (see `tests/determinism.rs`).
+//!
+//! Do not grow features here: the whole point is that this code stays
+//! frozen while [`Engine`](crate::Engine) evolves.
+
+use crate::engine::{RunReport, StopReason};
+use crate::ids::ProcessId;
+use crate::layout::Layout;
+use crate::memory::Memory;
+use crate::metrics::Metrics;
+use crate::obs::RingSink;
+use crate::op::Op;
+use crate::process::{Process, Step};
+use crate::schedule::Schedule;
+use crate::trace::{Trace, TraceEvent};
+
+enum Slot<P: Process> {
+    Running {
+        proc: P,
+        pending: Option<Op<P::Value>>,
+    },
+    Done {
+        proc: P,
+        output: P::Output,
+    },
+    /// Transient state while a slot is being advanced.
+    Vacant,
+}
+
+/// The original per-step-dispatch engine (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use sift_sim::legacy::LegacyEngine;
+/// use sift_sim::schedule::RoundRobin;
+/// use sift_sim::{Engine, LayoutBuilder, Op, OpResult, Process, RegisterId, Step};
+///
+/// struct WriteOnce(RegisterId, u32, bool);
+/// impl Process for WriteOnce {
+///     type Value = u32;
+///     type Output = u32;
+///     fn step(&mut self, _prev: Option<OpResult<u32>>) -> Step<u32, u32> {
+///         if self.2 {
+///             Step::Done(self.1)
+///         } else {
+///             self.2 = true;
+///             Step::Issue(Op::RegisterWrite(self.0, self.1))
+///         }
+///     }
+/// }
+///
+/// let mut b = LayoutBuilder::new();
+/// let r = b.register();
+/// let layout = b.build();
+/// let old = LegacyEngine::new(&layout, vec![WriteOnce(r, 10, false)]).run(RoundRobin::new(1));
+/// let new = Engine::new(&layout, vec![WriteOnce(r, 10, false)]).run(RoundRobin::new(1));
+/// assert_eq!(old.outputs, new.outputs);
+/// assert_eq!(old.metrics, new.metrics);
+/// ```
+pub struct LegacyEngine<P: Process> {
+    memory: Memory<P::Value>,
+    slots: Vec<Slot<P>>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    ring: Option<RingSink>,
+    slot_limit: u64,
+    live: usize,
+}
+
+impl<P: Process> LegacyEngine<P> {
+    /// Creates an engine over fresh unit-cost memory for `layout`.
+    pub fn new(layout: &Layout, processes: Vec<P>) -> Self {
+        Self::with_memory(Memory::new(layout), processes)
+    }
+
+    /// Creates an engine over explicitly constructed memory.
+    pub fn with_memory(memory: Memory<P::Value>, processes: Vec<P>) -> Self {
+        let n = processes.len();
+        let mut live = 0;
+        let slots = processes
+            .into_iter()
+            .map(|mut proc| match proc.step(None) {
+                Step::Issue(op) => {
+                    live += 1;
+                    Slot::Running {
+                        proc,
+                        pending: Some(op),
+                    }
+                }
+                Step::Done(output) => Slot::Done { proc, output },
+            })
+            .collect();
+        Self {
+            memory,
+            slots,
+            metrics: Metrics::new(n),
+            trace: None,
+            ring: None,
+            slot_limit: u64::MAX,
+            live,
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// Enables the bounded step-event ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace_ring(&mut self, capacity: usize) -> &mut Self {
+        self.ring = Some(RingSink::new(capacity));
+        self
+    }
+
+    /// Caps the number of charged slots.
+    pub fn limit_slots(&mut self, limit: u64) -> &mut Self {
+        self.slot_limit = limit;
+        self
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn advance(&mut self, pid: ProcessId, schedule: &mut impl Schedule) -> bool {
+        let slot = &mut self.slots[pid.index()];
+        let (mut proc, op) = match std::mem::replace(slot, Slot::Vacant) {
+            Slot::Running { proc, pending } => (
+                proc,
+                pending.expect("running process always has a pending op"),
+            ),
+            done @ Slot::Done { .. } => {
+                *slot = done;
+                self.metrics.record_skip();
+                return false;
+            }
+            Slot::Vacant => unreachable!("vacant slot outside advance"),
+        };
+
+        let kind = op.kind();
+        let cost = self.memory.cost(&op);
+        let result = self.memory.execute(op);
+        let event = TraceEvent {
+            slot: self.metrics.total_ops,
+            pid,
+            kind,
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(event);
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.push(event);
+        }
+        self.metrics.record(pid.index(), kind, cost);
+
+        match proc.step(Some(result)) {
+            Step::Issue(next) => {
+                self.slots[pid.index()] = Slot::Running {
+                    proc,
+                    pending: Some(next),
+                };
+                false
+            }
+            Step::Done(output) => {
+                self.slots[pid.index()] = Slot::Done { proc, output };
+                self.live -= 1;
+                schedule.on_done(pid);
+                true
+            }
+        }
+    }
+
+    /// Runs to completion under `schedule` and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule yields a process id out of range.
+    pub fn run(mut self, mut schedule: impl Schedule) -> RunReport<P> {
+        let support = schedule.support();
+        let support_total = support.len();
+        let mut support_done = support
+            .iter()
+            .filter(|pid| matches!(self.slots[pid.index()], Slot::Done { .. }))
+            .count();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if matches!(slot, Slot::Done { .. }) {
+                schedule.on_done(ProcessId(i));
+            }
+        }
+
+        let mut in_support = vec![false; self.slots.len()];
+        for pid in &support {
+            in_support[pid.index()] = true;
+        }
+
+        let reason = loop {
+            if self.live == 0 || (support_total > 0 && support_done == support_total) {
+                break StopReason::AllDone;
+            }
+            if self.metrics.scheduled_slots() >= self.slot_limit {
+                break StopReason::SlotLimit;
+            }
+            match schedule.next_pid() {
+                None => break StopReason::ScheduleExhausted,
+                Some(pid) => {
+                    assert!(
+                        pid.index() < self.slots.len(),
+                        "schedule produced out-of-range {pid}"
+                    );
+                    let finished = self.advance(pid, &mut schedule);
+                    if finished && (support_total == 0 || in_support[pid.index()]) {
+                        support_done += 1;
+                    }
+                }
+            }
+        };
+
+        self.into_report(reason)
+    }
+
+    fn into_report(self, reason: StopReason) -> RunReport<P> {
+        let mut outputs = Vec::with_capacity(self.slots.len());
+        let mut processes = Vec::with_capacity(self.slots.len());
+        for slot in self.slots {
+            match slot {
+                Slot::Running { proc, .. } => {
+                    outputs.push(None);
+                    processes.push(proc);
+                }
+                Slot::Done { proc, output } => {
+                    outputs.push(Some(output));
+                    processes.push(proc);
+                }
+                Slot::Vacant => unreachable!("vacant slot after run"),
+            }
+        }
+
+        RunReport {
+            outputs,
+            processes,
+            metrics: self.metrics,
+            memory: self.memory,
+            trace: self.trace,
+            ring: self.ring,
+            stop_reason: reason,
+        }
+    }
+}

@@ -57,16 +57,19 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod event;
 pub mod explore;
 pub mod fuzz;
 pub mod ids;
 pub mod layout;
+pub mod legacy;
 pub mod max_register;
 pub mod mc;
 pub mod memory;
 pub mod metrics;
 pub mod obs;
 pub mod op;
+pub mod paged;
 pub mod process;
 pub mod register;
 pub mod rng;
@@ -75,9 +78,10 @@ pub mod snapshot;
 pub mod trace;
 pub mod value;
 
-pub use engine::{AdaptiveView, Engine, RunReport, StopReason};
+pub use engine::{AdaptiveView, Engine, RunReport, SparseEntry, SparseReport, StopReason};
 pub use ids::{MaxRegisterId, ProcessId, RegisterId, SnapshotId};
 pub use layout::{Layout, LayoutBuilder, LayoutOffsets};
+pub use legacy::LegacyEngine;
 pub use memory::{CostModel, Memory};
 pub use metrics::Metrics;
 pub use op::{Op, OpKind, OpResult, ScanView};

@@ -26,11 +26,23 @@ use crate::value::Value;
 /// m.write(5, "mid");
 /// assert_eq!(m.read(), Some((9, &"high")));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MaxRegister<V> {
     entry: Option<(u64, V)>,
     writes: u64,
     reads: u64,
+}
+
+// Manual impl: the derive would demand `V: Default`, but an empty max
+// register is ⊥ for any value type (required by the paged lazy memory).
+impl<V> Default for MaxRegister<V> {
+    fn default() -> Self {
+        Self {
+            entry: None,
+            writes: 0,
+            reads: 0,
+        }
+    }
 }
 
 impl<V: Value> MaxRegister<V> {

@@ -5,6 +5,7 @@ use crate::ids::{MaxRegisterId, RegisterId, SnapshotId};
 use crate::layout::Layout;
 use crate::max_register::MaxRegister;
 use crate::op::{Op, OpResult};
+use crate::paged::Paged;
 use crate::register::Register;
 use crate::snapshot::SnapshotObject;
 use crate::value::Value;
@@ -43,11 +44,17 @@ pub enum CostModel {
 /// mem.execute(Op::RegisterWrite(r, 7)).expect_ack();
 /// assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(7));
 /// ```
+/// Registers and max registers are stored in [`Paged`] arrays: a layout
+/// may declare O(n) slots (one per process, one per round, …) but the
+/// backing storage materializes per page on first access, so a run that
+/// touches 100 processes of a million-slot layout allocates ~kilobytes,
+/// not O(n). Snapshot objects are cheap per declared object (their
+/// component vectors are already lazy) and stay in a plain `Vec`.
 #[derive(Debug, Clone)]
 pub struct Memory<V> {
-    registers: Vec<Register<V>>,
+    registers: Paged<Register<V>>,
     snapshots: Vec<SnapshotObject<V>>,
-    max_registers: Vec<MaxRegister<V>>,
+    max_registers: Paged<MaxRegister<V>>,
     cost_model: CostModel,
     ops_executed: u64,
 }
@@ -59,19 +66,19 @@ impl<V: Value> Memory<V> {
     }
 
     /// Instantiates memory for `layout` with an explicit cost model.
+    ///
+    /// Construction is O(#snapshot objects + declared slots / page
+    /// size): no register storage is allocated until an operation
+    /// touches it.
     pub fn with_cost_model(layout: &Layout, cost_model: CostModel) -> Self {
         Self {
-            registers: (0..layout.register_count())
-                .map(|_| Register::new())
-                .collect(),
+            registers: Paged::new(layout.register_count()),
             snapshots: layout
                 .snapshot_components()
                 .iter()
                 .map(|&c| SnapshotObject::new(c))
                 .collect(),
-            max_registers: (0..layout.max_register_count())
-                .map(|_| MaxRegister::new())
-                .collect(),
+            max_registers: Paged::new(layout.max_register_count()),
             cost_model,
             ops_executed: 0,
         }
@@ -131,17 +138,32 @@ impl<V: Value> Memory<V> {
     }
 
     /// Read-only access to a register, for probes and assertions.
+    /// Registers never operated on read as ⊥ without materializing.
     pub fn peek_register(&self, id: RegisterId) -> Option<&V> {
-        self.registers[id.index()].peek()
+        self.registers.get(id.index()).and_then(Register::peek)
     }
 
     /// Read-only access to a max register, for probes and assertions.
     pub fn peek_max_register(&self, id: MaxRegisterId) -> Option<(u64, &V)> {
-        self.max_registers[id.index()].peek()
+        self.max_registers
+            .get(id.index())
+            .and_then(MaxRegister::peek)
+    }
+
+    /// Register slots whose backing page has been materialized — an
+    /// allocation probe for the lazy-memory guarantee (untouched slots
+    /// cost nothing beyond the page table).
+    pub fn materialized_registers(&self) -> usize {
+        self.registers.materialized()
+    }
+
+    /// Max-register slots whose backing page has been materialized.
+    pub fn materialized_max_registers(&self) -> usize {
+        self.max_registers.materialized()
     }
 
     fn register_mut(&mut self, id: RegisterId) -> &mut Register<V> {
-        &mut self.registers[id.index()]
+        self.registers.get_mut(id.index())
     }
 
     fn snapshot_mut(&mut self, id: SnapshotId) -> &mut SnapshotObject<V> {
@@ -149,7 +171,7 @@ impl<V: Value> Memory<V> {
     }
 
     fn max_register_mut(&mut self, id: MaxRegisterId) -> &mut MaxRegister<V> {
-        &mut self.max_registers[id.index()]
+        self.max_registers.get_mut(id.index())
     }
 }
 
@@ -217,6 +239,47 @@ mod tests {
         mem.execute(Op::RegisterWrite(r, 1)).expect_ack();
         let _ = mem.execute(Op::RegisterRead(r));
         assert_eq!(mem.ops_executed(), 2);
+    }
+
+    #[test]
+    fn construction_allocates_no_register_storage() {
+        let mut b = LayoutBuilder::new();
+        let regs = b.registers(1_000_000);
+        let maxes = b.max_registers(1_000_000);
+        let mut mem: Memory<u32> = Memory::new(&b.build());
+        assert_eq!(mem.materialized_registers(), 0);
+        assert_eq!(mem.materialized_max_registers(), 0);
+        // Peeks see ⊥ without materializing anything.
+        assert_eq!(mem.peek_register(regs[999_999]), None);
+        assert_eq!(mem.peek_max_register(maxes[0]), None);
+        assert_eq!(mem.materialized_registers(), 0);
+        // An operation materializes only the touched page.
+        mem.execute(Op::RegisterWrite(regs[123_456], 5))
+            .expect_ack();
+        mem.execute(Op::MaxWrite(maxes[7], 1, 2)).expect_ack();
+        assert!(mem.materialized_registers() < 5_000);
+        assert!(mem.materialized_max_registers() < 5_000);
+        assert_eq!(mem.peek_register(regs[123_456]), Some(&5));
+    }
+
+    #[test]
+    fn reads_of_untouched_registers_are_bot() {
+        let mut b = LayoutBuilder::new();
+        let regs = b.registers(4096);
+        let mut mem: Memory<u32> = Memory::new(&b.build());
+        assert_eq!(
+            mem.execute(Op::RegisterRead(regs[4095])).expect_register(),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_panics() {
+        let mut b = LayoutBuilder::new();
+        let _ = b.register();
+        let mut mem: Memory<u32> = Memory::new(&b.build());
+        let _ = mem.execute(Op::RegisterRead(crate::ids::RegisterId::from_index(1)));
     }
 
     #[test]

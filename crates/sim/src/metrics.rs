@@ -47,16 +47,44 @@ impl Metrics {
         }
     }
 
+    // All counter updates saturate: at the scales the event engine
+    // reaches (and with user-supplied cost models), a wrapped counter
+    // would silently corrupt slot-limit accounting, while a saturated
+    // one at worst stops the run early with a clean
+    // [`StopReason::SlotLimit`](crate::StopReason::SlotLimit).
     pub(crate) fn record(&mut self, pid: usize, kind: OpKind, cost: u64) {
-        self.total_steps += cost;
-        self.total_ops += 1;
-        self.per_process_steps[pid] += cost;
-        self.per_process_ops[pid] += 1;
+        if pid >= self.per_process_steps.len() {
+            // Lazily-built engines touch pids out of arrival order;
+            // grow to the highest touched pid.
+            self.per_process_steps.resize(pid + 1, 0);
+            self.per_process_ops.resize(pid + 1, 0);
+        }
+        self.total_steps = self.total_steps.saturating_add(cost);
+        self.total_ops = self.total_ops.saturating_add(1);
+        self.per_process_steps[pid] = self.per_process_steps[pid].saturating_add(cost);
+        self.per_process_ops[pid] = self.per_process_ops[pid].saturating_add(1);
         self.ops_by_kind[op_kind_index(kind)] += 1;
     }
 
     pub(crate) fn record_skip(&mut self) {
-        self.skipped_slots += 1;
+        self.skipped_slots = self.skipped_slots.saturating_add(1);
+    }
+
+    /// Extends the per-process vectors with zeros up to `n` entries, so
+    /// a lazily-grown metrics becomes indexable for every declared pid
+    /// (dense reports call this; sparse reports do not).
+    pub(crate) fn pad_processes(&mut self, n: usize) {
+        if self.per_process_steps.len() < n {
+            self.per_process_steps.resize(n, 0);
+            self.per_process_ops.resize(n, 0);
+        }
+    }
+
+    /// Charged slots: executed operations plus free skips — the
+    /// quantity [`Engine::limit_slots`](crate::Engine::limit_slots)
+    /// budgets. Saturates instead of overflowing.
+    pub fn scheduled_slots(&self) -> u64 {
+        self.total_ops.saturating_add(self.skipped_slots)
     }
 
     /// The worst-case individual step complexity observed.
@@ -81,9 +109,9 @@ impl Metrics {
     /// metrics can be aggregated across a parallel sweep without
     /// materializing every run's report.
     pub fn merge(&mut self, other: &Metrics) {
-        self.total_steps += other.total_steps;
-        self.total_ops += other.total_ops;
-        self.skipped_slots += other.skipped_slots;
+        self.total_steps = self.total_steps.saturating_add(other.total_steps);
+        self.total_ops = self.total_ops.saturating_add(other.total_ops);
+        self.skipped_slots = self.skipped_slots.saturating_add(other.skipped_slots);
         if self.per_process_steps.len() < other.per_process_steps.len() {
             self.per_process_steps
                 .resize(other.per_process_steps.len(), 0);
@@ -94,13 +122,13 @@ impl Metrics {
             .iter_mut()
             .zip(&other.per_process_steps)
         {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.per_process_ops.iter_mut().zip(&other.per_process_ops) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.ops_by_kind.iter_mut().zip(&other.ops_by_kind) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 }
@@ -150,6 +178,33 @@ mod tests {
         d.record(1, OpKind::SnapshotScan, 4);
         c.merge(&d);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut m = Metrics::new(1);
+        m.record(0, OpKind::SnapshotScan, u64::MAX);
+        m.record(0, OpKind::SnapshotScan, u64::MAX);
+        assert_eq!(m.total_steps, u64::MAX);
+        assert_eq!(m.per_process_steps[0], u64::MAX);
+        assert_eq!(m.total_ops, 2);
+        let mut near_limit = Metrics::new(1);
+        near_limit.total_ops = u64::MAX - 1;
+        near_limit.skipped_slots = 7;
+        assert_eq!(near_limit.scheduled_slots(), u64::MAX);
+        let mut merged = Metrics::new(1);
+        merged.total_steps = u64::MAX;
+        merged.merge(&m);
+        assert_eq!(merged.total_steps, u64::MAX);
+    }
+
+    #[test]
+    fn record_grows_to_the_highest_touched_pid() {
+        let mut m = Metrics::new(0);
+        m.record(5, OpKind::RegisterRead, 1);
+        assert_eq!(m.per_process_steps.len(), 6);
+        assert_eq!(m.per_process_steps, vec![0, 0, 0, 0, 0, 1]);
+        assert_eq!(m.total_ops, 1);
     }
 
     #[test]

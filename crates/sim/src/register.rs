@@ -17,11 +17,23 @@ use crate::value::Value;
 /// r.write(42u32);
 /// assert_eq!(r.read(), Some(&42));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Register<V> {
     value: Option<V>,
     writes: u64,
     reads: u64,
+}
+
+// Manual impl: the derive would demand `V: Default`, but an empty
+// register is ⊥ for any value type (required by the paged lazy memory).
+impl<V> Default for Register<V> {
+    fn default() -> Self {
+        Self {
+            value: None,
+            writes: 0,
+            reads: 0,
+        }
+    }
 }
 
 impl<V: Value> Register<V> {

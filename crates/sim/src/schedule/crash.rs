@@ -92,6 +92,12 @@ impl<S: Schedule> Schedule for CrashSubset<S> {
     fn on_done(&mut self, pid: ProcessId) {
         self.inner.on_done(pid);
     }
+
+    fn completion_oblivious(&self) -> bool {
+        // The crash set is fixed up front; sensitivity is the inner
+        // schedule's.
+        self.inner.completion_oblivious()
+    }
 }
 
 #[cfg(test)]

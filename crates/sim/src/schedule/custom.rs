@@ -43,6 +43,11 @@ impl Schedule for FixedSchedule {
     fn next_pid(&mut self) -> Option<ProcessId> {
         self.slots.next()
     }
+
+    fn completion_oblivious(&self) -> bool {
+        // The slot list is literally fixed in advance.
+        true
+    }
 }
 
 /// Repeats a finite pattern forever.
@@ -90,6 +95,11 @@ impl Schedule for RepeatingSchedule {
         pids.sort_unstable();
         pids.dedup();
         pids
+    }
+
+    fn completion_oblivious(&self) -> bool {
+        // The pattern repeats regardless of completions.
+        true
     }
 }
 

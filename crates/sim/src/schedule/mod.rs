@@ -55,6 +55,37 @@ pub trait Schedule {
     /// Used only to skip slots that would be free no-ops anyway; see the
     /// module documentation for why this preserves obliviousness.
     fn on_done(&mut self, _pid: ProcessId) {}
+
+    /// Appends up to `max` upcoming slots to `buf`; returns `true` if
+    /// the schedule is exhausted (it produced fewer than `max`).
+    ///
+    /// This is the batch form of [`next_pid`](Self::next_pid) used by
+    /// the engine's bucketed event queue: pulling a bucket through a
+    /// `Box<dyn Schedule>` costs one virtual call here, and the default
+    /// body then resolves `next_pid` statically on the concrete type.
+    /// Overrides must produce exactly the sequence repeated `next_pid`
+    /// calls would.
+    fn fill(&mut self, buf: &mut Vec<ProcessId>, max: usize) -> bool {
+        for _ in 0..max {
+            match self.next_pid() {
+                Some(pid) => buf.push(pid),
+                None => return true,
+            }
+        }
+        false
+    }
+
+    /// `true` if the slots this schedule will produce are unaffected by
+    /// [`on_done`](Self::on_done) notifications (and by anything else
+    /// the engine does between pulls).
+    ///
+    /// The engine prefetches slots in buckets only for
+    /// completion-oblivious schedules; for the rest it pulls one slot
+    /// at a time, so completion feedback keeps its exact legacy timing.
+    /// The conservative default is `false`.
+    fn completion_oblivious(&self) -> bool {
+        false
+    }
 }
 
 impl<S: Schedule + ?Sized> Schedule for Box<S> {
@@ -68,6 +99,14 @@ impl<S: Schedule + ?Sized> Schedule for Box<S> {
 
     fn on_done(&mut self, pid: ProcessId) {
         (**self).on_done(pid)
+    }
+
+    fn fill(&mut self, buf: &mut Vec<ProcessId>, max: usize) -> bool {
+        (**self).fill(buf, max)
+    }
+
+    fn completion_oblivious(&self) -> bool {
+        (**self).completion_oblivious()
     }
 }
 
@@ -154,6 +193,52 @@ mod tests {
         let mut s: Box<dyn Schedule> = Box::new(RoundRobin::new(2));
         assert_eq!(s.next_pid(), Some(ProcessId(0)));
         assert_eq!(s.support().len(), 2);
+        assert!(s.completion_oblivious());
         s.on_done(ProcessId(0));
+    }
+
+    #[test]
+    fn fill_matches_repeated_next_pid_for_every_kind() {
+        for kind in ScheduleKind::all() {
+            let mut pulled = kind.build(5, 17);
+            let mut batched = kind.build(5, 17);
+            let mut expect = Vec::new();
+            for _ in 0..300 {
+                expect.push(pulled.next_pid().unwrap());
+            }
+            let mut buf = Vec::new();
+            // Pull in uneven chunks to exercise refill boundaries.
+            for chunk in [1usize, 7, 64, 100, 128] {
+                let exhausted = batched.fill(&mut buf, chunk);
+                assert!(!exhausted, "{} exhausted early", kind.name());
+            }
+            assert_eq!(buf, expect, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn fill_reports_exhaustion() {
+        let mut s = FixedSchedule::from_indices([0usize, 1]);
+        let mut buf = Vec::new();
+        assert!(s.fill(&mut buf, 8), "finite schedule must exhaust");
+        assert_eq!(buf, vec![ProcessId(0), ProcessId(1)]);
+    }
+
+    #[test]
+    fn completion_sensitivity_is_declared_correctly() {
+        // BlockSequential's future slots depend on on_done; everything
+        // else shipped with the simulator is oblivious to it.
+        assert!(!BlockSequential::in_order(4).completion_oblivious());
+        assert!(RoundRobin::new(4).completion_oblivious());
+        assert!(RandomInterleave::new(4, 1).completion_oblivious());
+        assert!(BlockRotation::new(4, 2, 1).completion_oblivious());
+        assert!(Stutter::new(4, ProcessId(0), 4).completion_oblivious());
+        assert!(FixedSchedule::from_indices([0usize]).completion_oblivious());
+        // A crash wrapper is exactly as oblivious as what it wraps.
+        assert!(CrashSubset::new(RoundRobin::new(4), std::iter::empty()).completion_oblivious());
+        assert!(
+            !CrashSubset::new(BlockSequential::in_order(4), std::iter::empty())
+                .completion_oblivious()
+        );
     }
 }

@@ -48,6 +48,11 @@ impl Schedule for RandomInterleave {
     fn support(&self) -> Vec<ProcessId> {
         (0..self.n).map(ProcessId).collect()
     }
+
+    fn completion_oblivious(&self) -> bool {
+        // Every slot is an independent draw from the schedule seed.
+        true
+    }
 }
 
 /// Random-permutation blocks: each pass schedules every process for
@@ -115,6 +120,11 @@ impl Schedule for BlockRotation {
 
     fn support(&self) -> Vec<ProcessId> {
         (0..self.n).map(ProcessId).collect()
+    }
+
+    fn completion_oblivious(&self) -> bool {
+        // Pass permutations are drawn from the schedule seed alone.
+        true
     }
 }
 

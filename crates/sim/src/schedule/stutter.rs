@@ -72,6 +72,11 @@ impl Schedule for Stutter {
     fn support(&self) -> Vec<ProcessId> {
         (0..self.n).map(ProcessId).collect()
     }
+
+    fn completion_oblivious(&self) -> bool {
+        // Slot parity and rotation are fixed up front.
+        true
+    }
 }
 
 #[cfg(test)]

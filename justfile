@@ -84,12 +84,17 @@ bench:
 # Refresh the tracked contention baseline: runs the contention bench
 # and writes per-benchmark medians to BENCH_shmem.json at the repo
 # root, plus the observation companion BENCH_obs.json (all-zero
-# substrate counters in this default build; see `bench-obs`). Raise
-# SIFT_BENCH_MS for a steadier baseline on a quiet machine.
+# substrate counters in this default build; see `bench-obs`). Also
+# refreshes BENCH_sim.json with the event engine's throughput sweep
+# (scheduled events/sec at n ∈ {10³, 10⁵, 10⁶}, including the
+# single-digit-second n = 10⁶ sifting round). Raise SIFT_BENCH_MS for
+# a steadier baseline on a quiet machine.
 bench-json:
     SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_shmem.json \
     SIFT_BENCH_OBS_JSON={{justfile_directory()}}/BENCH_obs.json \
     cargo bench -p sift-bench --bench contention
+    SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_sim.json \
+    cargo bench -p sift-bench --bench sim_engine
 
 # The contention bench with the substrate's counters compiled in:
 # BENCH_obs.json then carries real CAS-retry / retire-pile / latency

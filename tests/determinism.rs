@@ -3,9 +3,10 @@
 //! (the structural form of obliviousness).
 
 use sift::core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
-use sift::sim::rng::SeedSplitter;
-use sift::sim::schedule::{RandomInterleave, ScheduleKind};
-use sift::sim::{Engine, LayoutBuilder, Metrics, ProcessId};
+use sift::sim::fuzz::ScheduleGenome;
+use sift::sim::rng::{SeedSplitter, Xoshiro256StarStar};
+use sift::sim::schedule::{CrashSubset, RandomInterleave, Schedule, ScheduleKind};
+use sift::sim::{Engine, LayoutBuilder, LegacyEngine, Metrics, ProcessId, RunReport};
 
 fn run_sifting(master: u64, schedule_seed: u64) -> (Vec<u64>, Metrics) {
     let n = 24;
@@ -83,6 +84,119 @@ fn schedule_seed_changes_only_the_schedule() {
     }
     for outs in &outputs_per_seed {
         assert!(outs.iter().all(|&v| v == value));
+    }
+}
+
+/// Builds the n=16 sifting instance used by the engine-differential
+/// tests below and runs it on the given engine under `schedule`.
+fn sifting_report(
+    master: u64,
+    schedule: impl FnOnce(usize) -> Box<dyn Schedule>,
+    legacy: bool,
+) -> RunReport<sift::core::SiftingParticipant> {
+    let n = 16;
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+    let layout = b.build();
+    let split = SeedSplitter::new(master);
+    let procs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    if legacy {
+        let mut engine = LegacyEngine::new(&layout, procs);
+        engine.enable_trace();
+        engine.run(schedule(n))
+    } else {
+        let mut engine = Engine::new(&layout, procs);
+        engine.enable_trace();
+        engine.run(schedule(n))
+    }
+}
+
+/// The differential digest: everything observable about a run that the
+/// two engines must agree on, bit for bit.
+fn assert_reports_identical<P: sift::sim::Process>(old: &RunReport<P>, new: &RunReport<P>)
+where
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    assert_eq!(old.outputs, new.outputs);
+    assert_eq!(old.metrics, new.metrics);
+    assert_eq!(old.stop_reason, new.stop_reason);
+    assert_eq!(
+        old.trace.as_ref().map(|t| t.events()),
+        new.trace.as_ref().map(|t| t.events()),
+        "per-slot traces diverge"
+    );
+}
+
+#[test]
+fn event_engine_matches_legacy_on_every_schedule_family() {
+    for kind in ScheduleKind::all() {
+        for seed in [1u64, 17, 99] {
+            let old = sifting_report(seed, |n| kind.build(n, seed), true);
+            let new = sifting_report(seed, |n| kind.build(n, seed), false);
+            assert_reports_identical(&old, &new);
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_legacy_under_crashes() {
+    for seed in [3u64, 31] {
+        let crash = |n: usize| -> Box<dyn Schedule> {
+            Box::new(CrashSubset::new(
+                RandomInterleave::new(n, seed),
+                [ProcessId(0), ProcessId(5)],
+            ))
+        };
+        let old = sifting_report(seed, crash, true);
+        let new = sifting_report(seed, crash, false);
+        assert_reports_identical(&old, &new);
+    }
+}
+
+#[test]
+fn event_engine_matches_legacy_on_pinned_fuzz_genomes() {
+    // The fuzz corpus's pinned genome seeds: random genomes compiled to
+    // the exact schedules coverage-guided fuzzing replays.
+    for genome_seed in [0xC0FFEE_u64, 0xFEED, 0xDECAF, 7, 4242] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(genome_seed);
+        let genome = ScheduleGenome::random(16, &mut rng);
+        let old = sifting_report(genome_seed, |n| Box::new(genome.compile(n)), true);
+        let new = sifting_report(genome_seed, |n| Box::new(genome.compile(n)), false);
+        assert_reports_identical(&old, &new);
+    }
+}
+
+#[test]
+fn event_engine_matches_legacy_under_slot_limits() {
+    // Budgets that land mid-round must stop both engines at the same
+    // slot with the same partial state.
+    for limit in [1u64, 7, 50, 173] {
+        let mut b = LayoutBuilder::new();
+        let c = SiftingConciliator::allocate(&mut b, 16, Epsilon::HALF);
+        let layout = b.build();
+        let split = SeedSplitter::new(5);
+        let build = |c: &SiftingConciliator| {
+            (0..16)
+                .map(|i| {
+                    let mut rng = split.stream("process", i as u64);
+                    c.participant(ProcessId(i), i as u64, &mut rng)
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut old_e = LegacyEngine::new(&layout, build(&c));
+        old_e.limit_slots(limit);
+        let old = old_e.run(RandomInterleave::new(16, 9));
+        let mut new_e = Engine::new(&layout, build(&c));
+        new_e.limit_slots(limit);
+        let new = new_e.run(RandomInterleave::new(16, 9));
+        assert_eq!(old.outputs, new.outputs);
+        assert_eq!(old.metrics, new.metrics);
+        assert_eq!(old.stop_reason, new.stop_reason);
     }
 }
 

@@ -7,7 +7,9 @@
 use sift::adopt_commit::{try_check_ac_properties, AcOutput, Verdict};
 use sift::sim::mc::{check_dpor, replay_script, CheckError, McOptions};
 use sift::sim::schedule::FixedSchedule;
-use sift::sim::{Engine, Layout, LayoutBuilder, Op, OpResult, Process, RegisterId, Step};
+use sift::sim::{
+    Engine, Layout, LayoutBuilder, LegacyEngine, Op, OpResult, Process, RegisterId, Step,
+};
 
 /// A broken "adopt-commit" proposer (test-only mutant): write your code
 /// to one shared register, read it back, and commit if you see your own
@@ -151,4 +153,30 @@ fn replay_is_deterministic_across_engines() {
     let b = replay_script(&layout, factory(), &script);
     assert_eq!(a, b);
     assert!(a.iter().all(Option::is_some));
+}
+
+/// Differential contract for model-checking replays: the event engine
+/// and the pre-refactor legacy engine produce identical reports when
+/// replaying a violation script (and padded/truncated variants of it),
+/// so counterexamples found before the refactor replay unchanged.
+#[test]
+fn mc_violation_scripts_replay_identically_on_both_engines() {
+    let (layout, _, factory) = broken_instance();
+    let scripts: [&[usize]; 5] = [
+        &[0, 0, 1, 1],
+        &[1, 1, 0, 0],
+        &[0, 1, 0, 1],
+        // Padded with free slots to a finished process.
+        &[0, 0, 0, 0, 1, 1, 0, 1],
+        // Truncated mid-protocol: both stop exhausted with pending state.
+        &[0, 1],
+    ];
+    for script in scripts {
+        let old =
+            LegacyEngine::new(&layout, factory()).run(FixedSchedule::from_indices(script.to_vec()));
+        let new = Engine::new(&layout, factory()).run(FixedSchedule::from_indices(script.to_vec()));
+        assert_eq!(old.outputs, new.outputs, "script {script:?}");
+        assert_eq!(old.metrics, new.metrics, "script {script:?}");
+        assert_eq!(old.stop_reason, new.stop_reason, "script {script:?}");
+    }
 }
