@@ -1,0 +1,137 @@
+//! E23: consensus-service load generator.
+//!
+//! Drives the sharded service with a Zipf-skewed multi-instance
+//! workload (warm sweep, then skewed traffic; see
+//! `sift_bench::service_load`) and prints throughput, decision counts,
+//! and per-shard latency quantiles. Workload shape comes from the
+//! environment:
+//!
+//! * `SIFT_SERVICE_PROPOSALS` — total proposals (default 1,000,000)
+//! * `SIFT_SERVICE_INSTANCES` — instance-id space (default 100,000)
+//! * `SIFT_SERVICE_VALUES` — value domain size (default 16)
+//! * `SIFT_SERVICE_SHARDS` — shards (default 16)
+//! * `SIFT_SERVICE_WORKERS` — shard worker threads (default 4)
+//! * `SIFT_SERVICE_CLIENTS` — client threads (default 8)
+//! * `SIFT_SERVICE_MODE` — `closed` (default) or `open`
+//! * `SIFT_SERVICE_THETA` — Zipf skew (default 0.99)
+//! * `SIFT_SERVICE_SEED` — workload seed
+//! * `SIFT_SERVICE_JSON` — if set, write the merged observation
+//!   report (per-shard latency histograms included) to this path —
+//!   `just bench-json` points it at `BENCH_service.json`.
+//!
+//! The exit code is nonzero if any instance failed to decide or the
+//! JSON could not be written.
+
+use sift_bench::service_load::{run_load, LoadConfig, LoadMode};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => match v.parse::<u64>() {
+            Ok(x) if x > 0 => x,
+            _ => {
+                eprintln!("{name} must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x >= 0.0 => x,
+            _ => {
+                eprintln!("{name} must be a non-negative number, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let defaults = LoadConfig::default();
+    let mode = match std::env::var("SIFT_SERVICE_MODE") {
+        Ok(v) => LoadMode::parse(&v).unwrap_or_else(|| {
+            eprintln!("SIFT_SERVICE_MODE must be 'open' or 'closed', got {v:?}");
+            std::process::exit(2);
+        }),
+        Err(_) => defaults.mode,
+    };
+    let config = LoadConfig {
+        proposals: env_u64("SIFT_SERVICE_PROPOSALS", defaults.proposals),
+        instances: env_u64("SIFT_SERVICE_INSTANCES", defaults.instances),
+        values: env_u64("SIFT_SERVICE_VALUES", defaults.values),
+        shards: env_u64("SIFT_SERVICE_SHARDS", defaults.shards as u64) as usize,
+        workers: env_u64("SIFT_SERVICE_WORKERS", defaults.workers as u64) as usize,
+        clients: env_u64("SIFT_SERVICE_CLIENTS", defaults.clients as u64) as usize,
+        zipf_theta: env_f64("SIFT_SERVICE_THETA", defaults.zipf_theta),
+        mode,
+        seed: std::env::var("SIFT_SERVICE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.seed),
+        capacity: defaults.capacity,
+    };
+
+    println!(
+        "service load: {} proposals over {} instances (zipf θ={}), \
+         {} shards / {} workers / {} clients, {:?} loop",
+        config.proposals,
+        config.instances,
+        config.zipf_theta,
+        config.shards,
+        config.workers,
+        config.clients,
+        config.mode
+    );
+    let report = run_load(&config);
+
+    println!(
+        "decided {} instances in {:.2?} — {:.0} proposals/sec \
+         ({} idempotent hits, {} batched runs, {} rejected)",
+        report.decided,
+        report.elapsed,
+        report.throughput(),
+        report.obs.count("service.idempotent"),
+        report.obs.count("service.decided"),
+        report.rejected,
+    );
+    if let Some(latency) = report.obs.hist("service.latency_ns") {
+        println!(
+            "latency (ns, log-bucket upper bounds): p50 ≤ {}, p99 ≤ {}, p999 ≤ {}",
+            latency.quantile_upper_bound(0.50),
+            latency.quantile_upper_bound(0.99),
+            latency.quantile_upper_bound(0.999),
+        );
+    }
+    if let Some(batch) = report.obs.hist("service.batch_size") {
+        println!(
+            "batch size: p50 ≤ {}, p99 ≤ {}, max observed {}",
+            batch.quantile_upper_bound(0.50),
+            batch.quantile_upper_bound(0.99),
+            report.obs.max("service.max_batch"),
+        );
+    }
+
+    if let Ok(path) = std::env::var("SIFT_SERVICE_JSON") {
+        if !path.is_empty() {
+            match std::fs::write(&path, report.obs.to_json()) {
+                Ok(()) => eprintln!("wrote service report to {path}"),
+                Err(e) => {
+                    eprintln!("cannot write service report to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    if report.decided < config.instances {
+        eprintln!(
+            "error: only {} of {} instances decided",
+            report.decided, config.instances
+        );
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@ pub mod fuzz;
 pub mod microbench;
 pub mod obs;
 pub mod runner;
+pub mod service_load;
 pub mod stats;
 pub mod table;
 

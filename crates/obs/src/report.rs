@@ -95,6 +95,16 @@ impl ObsReport {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All maxima in key order.
+    pub fn maxima(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.maxima.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Absorbs `other`: counters add, maxima take the larger side,
     /// histograms merge bucket-wise. Commutative and associative; no
     /// count is ever lost.

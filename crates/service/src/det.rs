@@ -1,0 +1,242 @@
+//! Deterministic (current-thread) service mode.
+//!
+//! [`DeterministicService`] drives the *same* [`ShardCore`]s the
+//! threaded frontend runs, but single-threaded, with an explicit tick
+//! cadence and no wall clock — so a seeded proposal script always
+//! produces the same commit-fact stream, byte for byte. The stream
+//! [`digest`](DeterministicService::digest) is golden-pinned in
+//! `tests/service_determinism.rs`, which is what makes service
+//! behaviour replayable in CI (mirroring the fuzz/conformance golden
+//! digests in `crates/bench/tests/seed_stability.rs`).
+
+use sift_core::Persona;
+use sift_obs::ObsReport;
+use sift_shmem::memory::AtomicMemory;
+use sift_sim::rng::Xoshiro256StarStar;
+
+use crate::fact::{CommitFact, InstanceId};
+use crate::shard::{shard_of, InstanceMemory, Proposal, ShardConfig, ShardCore, ShardStats};
+use crate::shard_obs_report;
+
+/// A single-threaded, seeded service over `S` shards.
+///
+/// Generic over the substrate so the differential tests can replay one
+/// script against `LockFreeMemory` and `CoarseMemory` and compare the
+/// resulting streams; defaults to the runtime's
+/// [`AtomicMemory`].
+///
+/// # Examples
+///
+/// ```
+/// use sift_service::det::DeterministicService;
+/// use sift_service::{InstanceId, ShardConfig};
+///
+/// let mut svc: DeterministicService = DeterministicService::new(4, ShardConfig::default());
+/// svc.propose(InstanceId(1), 10, 0);
+/// svc.propose(InstanceId(1), 20, 1);
+/// let facts = svc.tick_all();
+/// assert_eq!(facts.len(), 1);
+/// assert!([10, 20].contains(&facts[0].value));
+/// ```
+#[derive(Debug)]
+pub struct DeterministicService<M: InstanceMemory = AtomicMemory<Persona>> {
+    shards: Vec<ShardCore<M>>,
+    stream: Vec<CommitFact>,
+}
+
+impl<M: InstanceMemory> DeterministicService<M> {
+    /// Creates `shards` empty shards sharing `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or does not fit in `u16`.
+    pub fn new(shards: usize, config: ShardConfig) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(shards <= u16::MAX as usize, "too many shards");
+        Self {
+            shards: (0..shards)
+                .map(|id| ShardCore::new(id as u16, config.clone()))
+                .collect(),
+            stream: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueues one proposal on its shard (fire-and-forget; facts are
+    /// read back from [`tick_all`](Self::tick_all) or
+    /// [`fact`](Self::fact)).
+    pub fn propose(&mut self, instance: InstanceId, value: u64, tag: u64) {
+        let shard = shard_of(instance, self.shards.len());
+        self.shards[shard].submit(Proposal {
+            instance,
+            value,
+            tag,
+            waiter: None,
+            submitted: None,
+        });
+    }
+
+    /// Ticks every shard in shard order, appending newly decided facts
+    /// to the stream and returning this tick's batch of them.
+    pub fn tick_all(&mut self) -> Vec<CommitFact> {
+        let mut new_facts = Vec::new();
+        for shard in &mut self.shards {
+            new_facts.extend(shard.tick());
+        }
+        self.stream.extend(new_facts.iter().cloned());
+        new_facts
+    }
+
+    /// Replays a proposal script, ticking every `window` proposals (and
+    /// once at the end). Tags are script positions. `window == 0` means
+    /// one final tick only — maximal batching.
+    pub fn run_script(&mut self, script: &[(InstanceId, u64)], window: usize) {
+        for (position, &(instance, value)) in script.iter().enumerate() {
+            self.propose(instance, value, position as u64);
+            if window > 0 && (position + 1) % window == 0 {
+                self.tick_all();
+            }
+        }
+        self.tick_all();
+    }
+
+    /// The stored fact for `instance`, if decided and retained.
+    pub fn fact(&self, instance: InstanceId) -> Option<&CommitFact> {
+        self.shards[shard_of(instance, self.shards.len())].fact(instance)
+    }
+
+    /// Explicitly evicts a decided instance (see
+    /// [`ShardCore::evict`]).
+    pub fn evict(&mut self, instance: InstanceId) -> bool {
+        let shard = shard_of(instance, self.shards.len());
+        self.shards[shard].evict(instance)
+    }
+
+    /// The commit-fact stream so far, in tick order (shard order within
+    /// a tick, decision order within a shard).
+    pub fn stream(&self) -> &[CommitFact] {
+        &self.stream
+    }
+
+    /// FNV-1a digest of the full commit-fact stream, metadata included.
+    /// Two runs produce equal digests iff they decided the same values
+    /// with the same batches, attempts, phases, and deciding proposals.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        for fact in &self.stream {
+            mix(fact.instance.0);
+            mix(fact.value);
+            mix(fact.meta.shard as u64);
+            mix(fact.meta.seq);
+            mix(fact.meta.batch_size as u64);
+            mix(fact.meta.attempts as u64);
+            mix(fact.meta.phases as u64);
+            mix(fact.meta.deciding_tag);
+        }
+        hash
+    }
+
+    /// Aggregated table introspection across shards.
+    pub fn stats(&self) -> ShardStats {
+        self.shards
+            .iter()
+            .map(ShardCore::stats)
+            .fold(ShardStats::default(), ShardStats::merge)
+    }
+
+    /// Per-shard stats, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(ShardCore::stats).collect()
+    }
+
+    /// The merged observation report (per-shard `shardNNN.*` keys plus
+    /// `service.*` aggregates).
+    pub fn obs_report(&self) -> ObsReport {
+        shard_obs_report(self.shards.iter().map(|s| (s.id(), s.obs())))
+    }
+}
+
+/// Generates a seeded proposal script: `proposals` entries over
+/// `instances` uniformly random instances with values in `0..values`.
+/// The deterministic golden tests and the differential suite share this
+/// generator.
+///
+/// # Panics
+///
+/// Panics if `instances == 0` or `values == 0`.
+pub fn uniform_script(
+    seed: u64,
+    proposals: usize,
+    instances: u64,
+    values: u64,
+) -> Vec<(InstanceId, u64)> {
+    assert!(instances > 0, "need at least one instance");
+    assert!(values > 0, "need at least one value");
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..proposals)
+        .map(|_| (InstanceId(rng.range_u64(instances)), rng.range_u64(values)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_script_same_digest() {
+        let script = uniform_script(9, 60, 12, 4);
+        let run = |window| {
+            let mut svc: DeterministicService =
+                DeterministicService::new(4, ShardConfig::default());
+            svc.run_script(&script, window);
+            svc.digest()
+        };
+        assert_eq!(run(5), run(5));
+        // A different tick cadence changes batching, hence the stream.
+        assert_ne!(run(5), run(1), "batching must be observable in the digest");
+    }
+
+    #[test]
+    fn every_instance_decides_exactly_once() {
+        let script = uniform_script(3, 100, 10, 5);
+        let mut svc: DeterministicService = DeterministicService::new(3, ShardConfig::default());
+        svc.run_script(&script, 7);
+        let mut seen = std::collections::HashSet::new();
+        for fact in svc.stream() {
+            assert!(
+                seen.insert(fact.instance),
+                "{} decided twice",
+                fact.instance
+            );
+        }
+        // Exactly the distinct proposed instances decided.
+        let distinct: std::collections::HashSet<_> = script.iter().map(|&(id, _)| id).collect();
+        assert_eq!(seen, distinct);
+        assert_eq!(svc.stats().pending, 0);
+    }
+
+    #[test]
+    fn obs_report_aggregates_across_shards() {
+        let script = uniform_script(5, 40, 8, 3);
+        let mut svc: DeterministicService = DeterministicService::new(2, ShardConfig::default());
+        svc.run_script(&script, 4);
+        let report = svc.obs_report();
+        assert_eq!(report.count("service.proposals"), 40);
+        assert_eq!(
+            report.count("shard000.proposals") + report.count("shard001.proposals"),
+            40
+        );
+        assert_eq!(report.count("service.decided"), svc.stream().len() as u64);
+        assert!(report.hist("service.batch_size").is_some());
+    }
+}

@@ -1,0 +1,353 @@
+//! The threaded async frontend: shard workers plus a proposal future.
+//!
+//! [`Service::start`] spins up `workers` OS threads; worker `w` owns
+//! shards `w, w + workers, …` and ticks them whenever proposals are
+//! pending. Clients call [`Service::propose`] from any thread or async
+//! task: the proposal lands in its shard's inbox and resolves — as a
+//! future — with the instance's [`CommitFact`]. Proposals that reach an
+//! already-decided instance resolve immediately from the table;
+//! proposals that land on an open instance within the same shard tick
+//! are batched into one consensus run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sift_core::Persona;
+use sift_obs::ObsReport;
+use sift_shmem::memory::AtomicMemory;
+
+use crate::fact::{CommitFact, InstanceId, ServiceError};
+use crate::runtime::{block_on, oneshot};
+use crate::shard::{shard_of, Proposal, ShardConfig, ShardCore, ShardStats};
+use crate::shard_obs_report;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (instance-table partitions).
+    pub shards: usize,
+    /// Number of worker threads ticking the shards.
+    pub workers: usize,
+    /// Per-shard configuration (seed, capacity, phase budgets).
+    pub shard: ShardConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            workers: 4,
+            shard: ShardConfig::default(),
+        }
+    }
+}
+
+type Core = ShardCore<AtomicMemory<Persona>>;
+
+struct ShardSlot {
+    core: Mutex<Core>,
+    /// Set when the shard has proposals waiting for a tick.
+    dirty: AtomicBool,
+}
+
+struct Inner {
+    slots: Vec<ShardSlot>,
+    shutdown: AtomicBool,
+    wake_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Inner {
+    fn notify(&self) {
+        let _guard = self.wake_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.wake.notify_all();
+    }
+}
+
+/// The running service. Cheap to share behind an [`Arc`]; consumed by
+/// [`shutdown`](Service::shutdown).
+///
+/// # Examples
+///
+/// ```
+/// use sift_service::{Service, ServiceConfig, InstanceId};
+///
+/// let service = Service::start(ServiceConfig::default());
+/// let fact = service.propose_sync(InstanceId(1), 42).unwrap();
+/// assert_eq!(fact.value, 42);
+/// // A repeat proposal — even with another value — returns the same fact.
+/// assert_eq!(service.propose_sync(InstanceId(1), 7).unwrap(), fact);
+/// service.shutdown();
+/// ```
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_tag: AtomicU64,
+}
+
+impl Service {
+    /// Starts the shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `workers` is zero, or `shards` exceeds
+    /// `u16::MAX`.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.shards <= u16::MAX as usize, "too many shards");
+        assert!(config.workers > 0, "need at least one worker");
+        let inner = Arc::new(Inner {
+            slots: (0..config.shards)
+                .map(|id| ShardSlot {
+                    core: Mutex::new(ShardCore::new(id as u16, config.shard.clone())),
+                    dirty: AtomicBool::new(false),
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            wake_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                let stride = config.workers;
+                std::thread::Builder::new()
+                    .name(format!("sift-shard-{w}"))
+                    .spawn(move || worker_loop(&inner, w, stride))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers,
+            next_tag: AtomicU64::new(0),
+        }
+    }
+
+    /// Proposes `value` for `instance` with an auto-assigned unique
+    /// tag. The returned future resolves with the instance's commit
+    /// fact — the new one if this batch decides, the original one if
+    /// the instance already decided.
+    pub fn propose(&self, instance: InstanceId, value: u64) -> ProposeFuture {
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        self.propose_tagged(instance, value, tag)
+    }
+
+    /// [`propose`](Self::propose) with a caller-chosen tag (echoed in
+    /// [`DecideMeta::deciding_tag`](crate::DecideMeta::deciding_tag) if
+    /// this proposal's value wins).
+    pub fn propose_tagged(&self, instance: InstanceId, value: u64, tag: u64) -> ProposeFuture {
+        let (tx, rx) = oneshot::channel();
+        let shard = shard_of(instance, self.inner.slots.len());
+        let slot = &self.inner.slots[shard];
+        let pending = {
+            let mut core = slot.core.lock().unwrap_or_else(|e| e.into_inner());
+            core.submit(Proposal {
+                instance,
+                value,
+                tag,
+                waiter: Some(tx),
+                submitted: Some(Instant::now()),
+            })
+        };
+        if pending {
+            slot.dirty.store(true, Ordering::Release);
+            self.inner.notify();
+        }
+        ProposeFuture { receiver: rx }
+    }
+
+    /// Blocking [`propose`](Self::propose), for plain-thread clients.
+    pub fn propose_sync(
+        &self,
+        instance: InstanceId,
+        value: u64,
+    ) -> Result<CommitFact, ServiceError> {
+        block_on(self.propose(instance, value))
+    }
+
+    /// Evicts a decided instance (drops its fact, leaves a tombstone).
+    /// Returns `false` if the instance is not currently decided.
+    pub fn evict(&self, instance: InstanceId) -> bool {
+        let shard = shard_of(instance, self.inner.slots.len());
+        let mut core = self.inner.slots[shard]
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        core.evict(instance)
+    }
+
+    /// The stored fact for `instance`, if decided and retained.
+    pub fn fact(&self, instance: InstanceId) -> Option<CommitFact> {
+        let shard = shard_of(instance, self.inner.slots.len());
+        let core = self.inner.slots[shard]
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        core.fact(instance).cloned()
+    }
+
+    /// Aggregated table introspection across all shards.
+    pub fn stats(&self) -> ShardStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(ShardStats::default(), ShardStats::merge)
+    }
+
+    /// Per-shard table introspection, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner
+            .slots
+            .iter()
+            .map(|slot| slot.core.lock().unwrap_or_else(|e| e.into_inner()).stats())
+            .collect()
+    }
+
+    /// A live snapshot of the merged observation report (per-shard
+    /// `shardNNN.*` keys plus `service.*` aggregates).
+    pub fn obs_report(&self) -> ObsReport {
+        let shards: Vec<(u16, ObsReport)> = self
+            .inner
+            .slots
+            .iter()
+            .map(|slot| {
+                let core = slot.core.lock().unwrap_or_else(|e| e.into_inner());
+                (core.id(), core.obs().clone())
+            })
+            .collect();
+        shard_obs_report(shards.iter().map(|(id, obs)| (*id, obs)))
+    }
+
+    /// Stops the workers, drains every shard one final time (pending
+    /// waiters resolve with their facts), and returns the final merged
+    /// observation report.
+    pub fn shutdown(mut self) -> ObsReport {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.notify();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers drain before exiting, but a proposal may have raced
+        // past the final worker pass; settle every shard here.
+        for slot in &self.inner.slots {
+            let mut core = slot.core.lock().unwrap_or_else(|e| e.into_inner());
+            core.tick();
+        }
+        self.obs_report()
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, worker: usize, stride: usize) {
+    let owned: Vec<usize> = (worker..inner.slots.len()).step_by(stride).collect();
+    loop {
+        let mut did_work = false;
+        for &index in &owned {
+            let slot = &inner.slots[index];
+            if slot.dirty.swap(false, Ordering::Acquire) {
+                let mut core = slot.core.lock().unwrap_or_else(|e| e.into_inner());
+                did_work |= !core.tick().is_empty();
+            }
+        }
+        if did_work {
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            // Final drain: settle anything that raced in after the
+            // last scan, then exit.
+            for &index in &owned {
+                let mut core = inner.slots[index]
+                    .core
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                core.tick();
+            }
+            return;
+        }
+        // The timeout bounds the residual lost-wakeup window (a client
+        // can set `dirty` between our scan and this wait).
+        let guard = inner.wake_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = inner
+            .wake
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Future for one proposal's outcome. Dropping it cancels nothing but
+/// the delivery: the proposal still participates in (or reads) the
+/// decision; the shard just discards the reply.
+pub struct ProposeFuture {
+    receiver: oneshot::Receiver<Result<CommitFact, ServiceError>>,
+}
+
+impl std::future::Future for ProposeFuture {
+    type Output = Result<CommitFact, ServiceError>;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.receiver).poll(cx).map(|r| {
+            // A dropped sender means the service shut down with this
+            // proposal still queued.
+            r.unwrap_or(Err(ServiceError::ShuttingDown))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propose_decides_and_is_idempotent() {
+        let service = Service::start(ServiceConfig {
+            shards: 4,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let first = service.propose_sync(InstanceId(5), 11).unwrap();
+        assert_eq!(first.value, 11);
+        let repeat = service.propose_sync(InstanceId(5), 999).unwrap();
+        assert_eq!(repeat, first, "idempotence must return the original fact");
+        let report = service.shutdown();
+        assert_eq!(report.count("service.decided"), 1);
+        assert_eq!(report.count("service.idempotent"), 1);
+        assert!(report.hist("service.latency_ns").is_some());
+    }
+
+    #[test]
+    fn concurrent_conflicting_proposals_agree() {
+        let service = Arc::new(Service::start(ServiceConfig::default()));
+        let clients: Vec<_> = (0..8u64)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || service.propose_sync(InstanceId(77), i).unwrap())
+            })
+            .collect();
+        let facts: Vec<CommitFact> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let value = facts[0].value;
+        assert!(value < 8, "validity");
+        assert!(facts.iter().all(|f| *f == facts[0]), "agreement");
+        Arc::try_unwrap(service).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn shutdown_resolves_or_rejects_every_waiter() {
+        let service = Service::start(ServiceConfig {
+            shards: 2,
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let futures: Vec<_> = (0..16u64)
+            .map(|i| service.propose(InstanceId(i), i))
+            .collect();
+        service.shutdown();
+        for (i, f) in futures.into_iter().enumerate() {
+            // The final drain decides everything that was queued.
+            let fact = block_on(f).expect("queued proposal resolves on shutdown");
+            assert_eq!(fact.value, i as u64);
+        }
+    }
+}

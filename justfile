@@ -64,6 +64,25 @@ conformance:
     cargo test -q --release -p sift-bench --features mutants --test mutants
     cargo test -q --release -p sift-bench --test seed_stability
 
+# Service-level suites: agreement/validity/decide-exactly-once under
+# concurrent async clients, golden-pinned deterministic commit streams,
+# the service-path substrate differential, and the negative paths
+# (evictions, zero capacity, cancellation) — each at worker counts
+# 1, 4, and 8 — plus a small load-generator smoke run.
+service:
+    cargo test -q --test service_agreement --test service_determinism \
+        --test service_negative --test substrate_differential
+    cargo test -q -p sift-service
+    SIFT_SERVICE_PROPOSALS=50000 SIFT_SERVICE_INSTANCES=5000 \
+        cargo run --release -p sift-bench --bin exp_service
+
+# The full E23 load tier: one million proposals over 100k Zipf-skewed
+# instances in one run (the acceptance bound for the service layer),
+# both client models.
+service-load:
+    cargo run --release -p sift-bench --bin exp_service
+    SIFT_SERVICE_MODE=open cargo run --release -p sift-bench --bin exp_service
+
 # A coverage-guided adversary fuzzing campaign against the sifting
 # conciliator's schedule-independent invariants. Knobs:
 # SIFT_FUZZ_{N,GENERATIONS,POPULATION,SEED,OUT}.
@@ -71,7 +90,7 @@ fuzz:
     cargo run --release -p sift-bench --bin exp_fuzz
 
 # Everything CI runs.
-ci: fmt-check clippy tier1 test-coarse test-obs mc determinism conformance
+ci: fmt-check clippy tier1 test-coarse test-obs mc determinism conformance service
 
 # Regenerate the recorded experiment output (uses all cores).
 experiments:
@@ -87,14 +106,18 @@ bench:
 # substrate counters in this default build; see `bench-obs`). Also
 # refreshes BENCH_sim.json with the event engine's throughput sweep
 # (scheduled events/sec at n ∈ {10³, 10⁵, 10⁶}, including the
-# single-digit-second n = 10⁶ sifting round). Raise SIFT_BENCH_MS for
-# a steadier baseline on a quiet machine.
+# single-digit-second n = 10⁶ sifting round), and BENCH_service.json
+# with the E23 service load run (1M Zipf-skewed proposals; per-shard
+# latency histograms). Raise SIFT_BENCH_MS for a steadier baseline on
+# a quiet machine.
 bench-json:
     SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_shmem.json \
     SIFT_BENCH_OBS_JSON={{justfile_directory()}}/BENCH_obs.json \
     cargo bench -p sift-bench --bench contention
     SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_sim.json \
     cargo bench -p sift-bench --bench sim_engine
+    SIFT_SERVICE_JSON={{justfile_directory()}}/BENCH_service.json \
+    cargo run --release -p sift-bench --bin exp_service
 
 # The contention bench with the substrate's counters compiled in:
 # BENCH_obs.json then carries real CAS-retry / retire-pile / latency

@@ -11,6 +11,8 @@
 //! * [`tas`] — test-and-set from sifting (the §5 connection).
 //! * [`obs`] — mergeable observation primitives (striped counters,
 //!   log-bucketed histograms, reports) behind the observability layer.
+//! * [`service`] — consensus-as-a-service: a sharded multi-instance
+//!   frontend batching proposals into per-instance consensus runs.
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +20,7 @@ pub use sift_adopt_commit as adopt_commit;
 pub use sift_consensus as consensus;
 pub use sift_core as core;
 pub use sift_obs as obs;
+pub use sift_service as service;
 pub use sift_shmem as shmem;
 pub use sift_sim as sim;
 pub use sift_tas as tas;

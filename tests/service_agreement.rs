@@ -1,0 +1,194 @@
+//! Service-level agreement: the consensus-as-a-service frontend must
+//! preserve the protocol stack's guarantees per *instance* while many
+//! asynchronous clients hammer many instances at once.
+//!
+//! Each test drives N concurrent clients (async tasks on the in-tree
+//! [`Pool`] executor — the offline stand-in for a tokio runtime)
+//! proposing conflicting values across K instances, then asserts, per
+//! instance:
+//!
+//! * **agreement / decide-exactly-once** — every client observes the
+//!   same commit fact, and the shard table records exactly one decision;
+//! * **validity** — the decided value is one of the values actually
+//!   proposed for that instance;
+//! * **idempotence** — a repeat proposal to a decided instance returns
+//!   the *original* commit fact, byte for byte.
+//!
+//! The whole suite runs at worker counts 1, 4, and 8, since the shard
+//! scheduler degenerates differently at each (single worker = strictly
+//! sequential ticks; workers > shards = idle spinners).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sift::service::runtime::{block_on, Pool};
+use sift::service::{CommitFact, InstanceId, Service, ServiceConfig, ShardConfig};
+
+/// Worker counts every scenario is exercised at (acceptance criterion).
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn service(workers: usize, shards: usize, seed: u64) -> Service {
+    Service::start(ServiceConfig {
+        shards,
+        workers,
+        shard: ShardConfig {
+            seed,
+            ..ShardConfig::default()
+        },
+    })
+}
+
+/// Runs `clients` async tasks, each proposing its own conflicting value
+/// to every one of `instances` instances, and returns each client's
+/// observed facts, keyed by instance.
+fn conflicting_clients(
+    service: &Arc<Service>,
+    clients: usize,
+    instances: u64,
+) -> Vec<HashMap<InstanceId, CommitFact>> {
+    let pool = Pool::new(clients.min(8));
+    let handles: Vec<_> = (0..clients)
+        .map(|client| {
+            let service = Arc::clone(service);
+            pool.spawn(async move {
+                let mut observed = HashMap::new();
+                for raw in 0..instances {
+                    let instance = InstanceId(raw);
+                    // Client c proposes value c: every instance sees a
+                    // full spread of conflicting proposals.
+                    let fact = service
+                        .propose(instance, client as u64)
+                        .await
+                        .expect("proposal must resolve");
+                    observed.insert(instance, fact);
+                }
+                observed
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join()).collect()
+}
+
+#[test]
+fn concurrent_conflicting_clients_agree_per_instance() {
+    for workers in WORKER_COUNTS {
+        let clients = 6;
+        let instances = 40u64;
+        let service = Arc::new(service(workers, 4, 0xA6));
+        let observed = conflicting_clients(&service, clients, instances);
+
+        for raw in 0..instances {
+            let instance = InstanceId(raw);
+            let first = &observed[0][&instance];
+            // Agreement: all clients saw the same commit fact.
+            for (client, view) in observed.iter().enumerate() {
+                assert_eq!(
+                    view[&instance], *first,
+                    "workers={workers}: client {client} diverged on {instance}"
+                );
+            }
+            // Validity: the decision is one of the proposed values.
+            assert!(
+                (first.value as usize) < clients,
+                "workers={workers}: {instance} decided unproposed value {}",
+                first.value
+            );
+        }
+
+        // Decide-exactly-once: the shard tables hold exactly one fact
+        // per instance, nothing pending, nothing leaked.
+        let service = Arc::try_unwrap(service).ok().expect("all clients joined");
+        let stats = service.stats();
+        assert_eq!(stats.decided, instances as usize, "workers={workers}");
+        assert_eq!(stats.pending, 0, "workers={workers}");
+        assert_eq!(stats.waiters, 0, "workers={workers}");
+        let obs = service.shutdown();
+        assert_eq!(obs.count("service.decided"), instances, "workers={workers}");
+        assert_eq!(
+            obs.count("service.proposals"),
+            clients as u64 * instances,
+            "workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn repeat_proposals_return_the_original_fact() {
+    for workers in WORKER_COUNTS {
+        let service = service(workers, 3, 0x1D);
+        let instance = InstanceId(7);
+        let original = service
+            .propose_sync(instance, 11)
+            .expect("first proposal decides");
+        assert_eq!(original.value, 11, "workers={workers}: singleton validity");
+
+        // Any later proposal — same value, different value, async or
+        // sync — answers with the original fact, unchanged metadata
+        // included.
+        for (attempt, value) in [(0u64, 11u64), (1, 99), (2, 0)] {
+            let repeat = block_on(service.propose(instance, value));
+            assert_eq!(
+                repeat.as_ref().expect("idempotent hit resolves"),
+                &original,
+                "workers={workers}: repeat #{attempt} must echo the original fact"
+            );
+        }
+        let obs = service.shutdown();
+        assert_eq!(obs.count("service.decided"), 1, "workers={workers}");
+        assert_eq!(obs.count("service.idempotent"), 3, "workers={workers}");
+    }
+}
+
+#[test]
+fn interleaved_instances_decide_independently() {
+    for workers in WORKER_COUNTS {
+        // More shards than workers and more instances than shards:
+        // every shard multiplexes several instances per tick.
+        let service = Arc::new(service(workers, 8, 0x5EED));
+        let pool = Pool::new(4);
+        let instances = 64u64;
+        let handles: Vec<_> = (0..4usize)
+            .map(|client| {
+                let service = Arc::clone(&service);
+                pool.spawn(async move {
+                    // Stripe instances across clients in different
+                    // orders so shard inboxes interleave instances.
+                    let mut facts = Vec::new();
+                    for step in 0..instances {
+                        let raw = (step * 17 + client as u64 * 13) % instances;
+                        let fact = service
+                            .propose(InstanceId(raw), client as u64 + 100)
+                            .await
+                            .expect("proposal resolves");
+                        facts.push((InstanceId(raw), fact));
+                    }
+                    facts
+                })
+            })
+            .collect();
+        let mut by_instance: HashMap<InstanceId, CommitFact> = HashMap::new();
+        for handle in handles {
+            for (instance, fact) in handle.join() {
+                match by_instance.entry(instance) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(fact);
+                    }
+                    std::collections::hash_map::Entry::Occupied(slot) => {
+                        assert_eq!(slot.get(), &fact, "workers={workers}: {instance}");
+                    }
+                }
+            }
+        }
+        assert_eq!(by_instance.len(), instances as usize);
+        for fact in by_instance.values() {
+            assert!(
+                (100..104).contains(&fact.value),
+                "workers={workers}: unproposed value {}",
+                fact.value
+            );
+        }
+        let service = Arc::try_unwrap(service).ok().expect("all clients joined");
+        assert_eq!(service.stats().decided, instances as usize);
+        service.shutdown();
+    }
+}

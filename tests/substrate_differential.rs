@@ -176,3 +176,45 @@ fn snapshot_conciliator_outcomes_agree_across_substrates() {
         assert_eq!(on_lockfree, on_coarse, "seed {seed}");
     }
 }
+
+/// Service-path differential: a whole sharded multi-instance service
+/// run — batching, idempotence table, phase-escalating attempts and
+/// all — must produce the *identical* commit-fact stream on both
+/// substrates. This is the end-to-end version of the conciliator
+/// differentials above: any substrate divergence that survives the
+/// protocol stack would surface here as a different decided value,
+/// batch shape, or attempt count, and the stream digest covers all of
+/// them.
+#[test]
+fn service_commit_streams_agree_across_substrates() {
+    use sift::core::Persona;
+    use sift::service::det::{uniform_script, DeterministicService};
+    use sift::service::ShardConfig;
+
+    for seed in 0..5u64 {
+        let script = uniform_script(seed, 250, 30, 6);
+        let run_on = |streams: &mut Vec<Vec<sift::service::CommitFact>>, coarse: bool| {
+            let config = ShardConfig {
+                seed,
+                ..ShardConfig::default()
+            };
+            // Tick every 8 proposals so batches actually form.
+            if coarse {
+                let mut svc = DeterministicService::<CoarseMemory<Persona>>::new(4, config);
+                svc.run_script(&script, 8);
+                streams.push(svc.stream().to_vec());
+            } else {
+                let mut svc = DeterministicService::<LockFreeMemory<Persona>>::new(4, config);
+                svc.run_script(&script, 8);
+                streams.push(svc.stream().to_vec());
+            }
+        };
+        let mut streams = Vec::new();
+        run_on(&mut streams, false);
+        run_on(&mut streams, true);
+        assert_eq!(
+            streams[0], streams[1],
+            "seed {seed}: service commit-fact streams diverge across substrates"
+        );
+    }
+}
