@@ -1,15 +1,24 @@
 //! Multi-threaded contention benches: lock-free vs lock-based
-//! substrate objects under a mixed read/write load.
+//! substrate objects under a mixed read/write load, swept across
+//! thread counts.
 //!
-//! Worker threads are spawned once per benchmark and coordinated with
-//! barriers; each measured iteration is one *round* in which every
-//! worker drives a fixed, interleaved operation sequence through one
-//! shared object. All workers start a round together, so the substrates
-//! see genuine sustained interference (not a spawn-staggered sequence
-//! of solo phases), and the reported per-iteration time is inversely
-//! proportional to 8-thread throughput. `just bench-json` runs this
-//! target with `SIFT_BENCH_JSON=BENCH_shmem.json` to refresh the
-//! tracked baseline.
+//! Worker threads are spawned once per benchmark, pinned round-robin
+//! to cores (when the platform supports it — each row's `pinning`
+//! field records whether it did), and coordinated with barriers; each
+//! measured iteration is one *round* in which every worker drives a
+//! fixed, interleaved operation sequence through one shared object.
+//! All workers start a round together, so the substrates see genuine
+//! sustained interference (not a spawn-staggered sequence of solo
+//! phases), and the reported per-iteration time is inversely
+//! proportional to t-thread throughput.
+//!
+//! The contention groups sweep `t ∈ {2, 4, 8, 16}` by default;
+//! `SIFT_BENCH_THREADS` (a comma-separated list) overrides the sweep —
+//! CI's bench-smoke runs the `2,8` subset. Every contention row in the
+//! JSON output carries explicit `threads` and `pinning` fields, so the
+//! sweep is machine-diffable without parsing ids. `just bench-json`
+//! runs this target with `SIFT_BENCH_JSON=BENCH_shmem.json` to refresh
+//! the tracked baseline.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -17,12 +26,11 @@ use std::thread;
 
 use sift_bench::microbench::{Bencher, Criterion};
 use sift_bench::{criterion_group, criterion_main};
+use sift_shmem::affinity::pin_to_core;
 use sift_shmem::max_register::{LockFreeMaxRegister, LockMaxRegister};
 use sift_shmem::register::{LockFreeRegister, LockRegister};
 use sift_shmem::snapshot::{CoarseSnapshot, LockFreeSnapshot};
 
-/// Worker threads per benchmark.
-const THREADS: usize = 8;
 /// Operations per worker per round.
 const OPS: usize = 2048;
 /// One in this many operations is a write; the rest read. Protocols in
@@ -34,25 +42,58 @@ const WRITE_EVERY: usize = 64;
 /// single cells).
 const COMPONENTS: usize = 128;
 
-/// Runs `op(thread, k)` for `OPS` values of `k` on each of [`THREADS`]
+/// The contention sweep: `SIFT_BENCH_THREADS` as a comma-separated
+/// list, defaulting to {2, 4, 8, 16}.
+fn thread_counts() -> Vec<usize> {
+    let parsed = std::env::var("SIFT_BENCH_THREADS").ok().map(|v| {
+        v.split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .collect::<Vec<_>>()
+    });
+    match parsed {
+        Some(ts) if !ts.is_empty() => ts,
+        _ => vec![2, 4, 8, 16],
+    }
+}
+
+/// The pinning policy this host supports, probed once on a scratch
+/// thread: `"cores"` when workers can be pinned round-robin to cores,
+/// `"none"` when affinity calls fail (non-Linux or restricted).
+fn pinning_policy() -> &'static str {
+    if thread::spawn(|| pin_to_core(0)).join().unwrap_or(false) {
+        "cores"
+    } else {
+        "none"
+    }
+}
+
+/// Runs `op(thread, k)` for `OPS` values of `k` on each of `threads`
 /// persistent workers, once per measured iteration, with all workers
-/// released into the round together.
-fn bench_rounds(b: &mut Bencher, op: impl Fn(usize, usize) + Sync) {
-    let start = Barrier::new(THREADS + 1);
-    let end = Barrier::new(THREADS + 1);
+/// released into the round together. Workers are pinned round-robin
+/// across the host's cores when `pin` holds.
+fn bench_rounds(b: &mut Bencher, threads: usize, pin: bool, op: impl Fn(usize, usize) + Sync) {
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let start = Barrier::new(threads + 1);
+    let end = Barrier::new(threads + 1);
     let stop = AtomicBool::new(false);
     thread::scope(|scope| {
-        for t in 0..THREADS {
+        for t in 0..threads {
             let (start, end, stop, op) = (&start, &end, &stop, &op);
-            scope.spawn(move || loop {
-                start.wait();
-                if stop.load(Ordering::Relaxed) {
-                    break;
+            scope.spawn(move || {
+                if pin {
+                    pin_to_core(t % cores);
                 }
-                for k in 0..OPS {
-                    op(t, k);
+                loop {
+                    start.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for k in 0..OPS {
+                        op(t, k);
+                    }
+                    end.wait();
                 }
-                end.wait();
             });
         }
         b.iter(|| {
@@ -66,77 +107,100 @@ fn bench_rounds(b: &mut Bencher, op: impl Fn(usize, usize) + Sync) {
 }
 
 fn bench_snapshot_contention(c: &mut Criterion) {
+    let policy = pinning_policy();
+    let pin = policy == "cores";
     let mut group = c.benchmark_group("snapshot_contention");
-    group.bench_function("lockfree/t8", |b| {
-        let snap: LockFreeSnapshot<u64> = LockFreeSnapshot::new(COMPONENTS);
-        bench_rounds(b, |t, k| {
-            if k % WRITE_EVERY == 0 {
-                snap.update(t % COMPONENTS, (t * OPS + k) as u64);
-            } else {
-                std::hint::black_box(snap.scan());
-            }
+    group.pinning(policy);
+    for t in thread_counts() {
+        group.threads(t);
+        group.bench_function(format!("lockfree/t{t}"), |b| {
+            let snap: LockFreeSnapshot<u64> = LockFreeSnapshot::new(COMPONENTS);
+            bench_rounds(b, t, pin, |t, k| {
+                if k % WRITE_EVERY == 0 {
+                    snap.update(t % COMPONENTS, (t * OPS + k) as u64);
+                } else {
+                    std::hint::black_box(snap.scan());
+                }
+            });
         });
-    });
-    group.bench_function("coarse/t8", |b| {
-        let snap: CoarseSnapshot<u64> = CoarseSnapshot::new(COMPONENTS);
-        bench_rounds(b, |t, k| {
-            if k % WRITE_EVERY == 0 {
-                snap.update(t % COMPONENTS, (t * OPS + k) as u64);
-            } else {
-                std::hint::black_box(snap.scan());
-            }
+        group.bench_function(format!("coarse/t{t}"), |b| {
+            let snap: CoarseSnapshot<u64> = CoarseSnapshot::new(COMPONENTS);
+            bench_rounds(b, t, pin, |t, k| {
+                if k % WRITE_EVERY == 0 {
+                    snap.update(t % COMPONENTS, (t * OPS + k) as u64);
+                } else {
+                    std::hint::black_box(snap.scan());
+                }
+            });
         });
-    });
+    }
     group.finish();
 }
 
 fn bench_register_contention(c: &mut Criterion) {
+    let policy = pinning_policy();
+    let pin = policy == "cores";
     let mut group = c.benchmark_group("register_contention");
-    group.bench_function("lockfree/t8", |b| {
-        let reg: LockFreeRegister<u64> = LockFreeRegister::new();
-        bench_rounds(b, |t, k| {
-            if k % WRITE_EVERY == 0 {
-                reg.write((t * OPS + k) as u64);
-            } else {
-                std::hint::black_box(reg.read());
-            }
+    group.pinning(policy);
+    for t in thread_counts() {
+        group.threads(t);
+        group.bench_function(format!("lockfree/t{t}"), |b| {
+            let reg: LockFreeRegister<u64> = LockFreeRegister::new();
+            assert!(reg.is_inline(), "u64 registers must take the inline path");
+            bench_rounds(b, t, pin, |t, k| {
+                if k % WRITE_EVERY == 0 {
+                    reg.write((t * OPS + k) as u64);
+                } else {
+                    std::hint::black_box(reg.read());
+                }
+            });
         });
-    });
-    group.bench_function("lock/t8", |b| {
-        let reg: LockRegister<u64> = LockRegister::new();
-        bench_rounds(b, |t, k| {
-            if k % WRITE_EVERY == 0 {
-                reg.write((t * OPS + k) as u64);
-            } else {
-                std::hint::black_box(reg.read());
-            }
+        group.bench_function(format!("lock/t{t}"), |b| {
+            let reg: LockRegister<u64> = LockRegister::new();
+            bench_rounds(b, t, pin, |t, k| {
+                if k % WRITE_EVERY == 0 {
+                    reg.write((t * OPS + k) as u64);
+                } else {
+                    std::hint::black_box(reg.read());
+                }
+            });
         });
-    });
+    }
     group.finish();
 }
 
 fn bench_max_register_contention(c: &mut Criterion) {
+    let policy = pinning_policy();
+    let pin = policy == "cores";
     let mut group = c.benchmark_group("max_register_contention");
-    group.bench_function("lockfree/t8", |b| {
-        let max: LockFreeMaxRegister<u64> = LockFreeMaxRegister::new();
-        bench_rounds(b, |t, k| {
-            if k % WRITE_EVERY == 0 {
-                max.write((t * OPS + k) as u64, t as u64);
-            } else {
-                std::hint::black_box(max.read());
-            }
+    group.pinning(policy);
+    for t in thread_counts() {
+        group.threads(t);
+        group.bench_function(format!("lockfree/t{t}"), |b| {
+            let max: LockFreeMaxRegister<u64> = LockFreeMaxRegister::new();
+            assert!(
+                max.is_combining(),
+                "u64 max registers must take the combining path"
+            );
+            bench_rounds(b, t, pin, |t, k| {
+                if k % WRITE_EVERY == 0 {
+                    max.write((t * OPS + k) as u64, t as u64);
+                } else {
+                    std::hint::black_box(max.read());
+                }
+            });
         });
-    });
-    group.bench_function("lock/t8", |b| {
-        let max: LockMaxRegister<u64> = LockMaxRegister::new();
-        bench_rounds(b, |t, k| {
-            if k % WRITE_EVERY == 0 {
-                max.write((t * OPS + k) as u64, t as u64);
-            } else {
-                std::hint::black_box(max.read());
-            }
+        group.bench_function(format!("lock/t{t}"), |b| {
+            let max: LockMaxRegister<u64> = LockMaxRegister::new();
+            bench_rounds(b, t, pin, |t, k| {
+                if k % WRITE_EVERY == 0 {
+                    max.write((t * OPS + k) as u64, t as u64);
+                } else {
+                    std::hint::black_box(max.read());
+                }
+            });
         });
-    });
+    }
     group.finish();
 }
 

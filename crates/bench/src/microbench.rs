@@ -39,6 +39,15 @@ pub struct BenchResult {
     pub median_ns: f64,
     /// Total measured iterations across all batches.
     pub samples: u64,
+    /// Worker threads driving the benchmarked object, when the
+    /// benchmark is a multi-threaded contention run (set via
+    /// [`BenchGroup::threads`]); `None` for single-threaded benches.
+    pub threads: Option<u64>,
+    /// Thread-placement policy of those workers (set via
+    /// [`BenchGroup::pinning`]), e.g. `"cores"` when each worker is
+    /// pinned round-robin to a core, `"none"` when the scheduler
+    /// places them. `None` for single-threaded benches.
+    pub pinning: Option<String>,
 }
 
 /// Top-level handle mirroring `criterion::Criterion`.
@@ -79,6 +88,8 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            threads: None,
+            pinning: None,
         }
     }
 
@@ -123,18 +134,27 @@ impl Criterion {
     }
 }
 
-/// Renders results as a stable, dependency-free JSON document.
+/// Renders results as a stable, dependency-free JSON document. The
+/// `threads`/`pinning` keys appear only on rows that declared them, so
+/// single-threaded rows stay unchanged.
 fn results_to_json(results: &[BenchResult]) -> String {
     let mut out = String::from("{\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"group\": {}, \"id\": {}, \"median_ns\": {:.1}, \"samples\": {}}}{sep}\n",
+        let mut row = format!(
+            "    {{\"group\": {}, \"id\": {}, \"median_ns\": {:.1}, \"samples\": {}",
             json_string(&r.group),
             json_string(&r.id),
             r.median_ns,
             r.samples
-        ));
+        );
+        if let Some(t) = r.threads {
+            row.push_str(&format!(", \"threads\": {t}"));
+        }
+        if let Some(p) = &r.pinning {
+            row.push_str(&format!(", \"pinning\": {}", json_string(p)));
+        }
+        out.push_str(&format!("{row}}}{sep}\n"));
     }
     out.push_str("  ]\n}\n");
     out
@@ -176,6 +196,8 @@ pub struct BenchGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    threads: Option<u64>,
+    pinning: Option<String>,
 }
 
 impl BenchGroup<'_> {
@@ -183,6 +205,21 @@ impl BenchGroup<'_> {
     /// wall-clock budget usually binds first).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the worker-thread count recorded on subsequently run
+    /// benchmarks of this group (a thread-sweep sets it before each
+    /// run).
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.threads = Some(n as u64);
+        self
+    }
+
+    /// Declares the thread-placement policy recorded on subsequently
+    /// run benchmarks of this group.
+    pub fn pinning(&mut self, policy: impl Into<String>) -> &mut Self {
+        self.pinning = Some(policy.into());
         self
     }
 
@@ -228,6 +265,8 @@ impl BenchGroup<'_> {
             id: id.to_string(),
             median_ns: b.median_ns,
             samples: b.samples,
+            threads: self.threads,
+            pinning: self.pinning.clone(),
         });
     }
 
@@ -348,6 +387,7 @@ mod tests {
         g.sample_size(10);
         let mut runs = 0u64;
         g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.threads(8).pinning("cores");
         g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
             b.iter(|| n * 2)
         });
@@ -358,8 +398,15 @@ mod tests {
         assert_eq!(results[0].group, "test");
         assert_eq!(results[0].id, "noop");
         assert!(results[0].samples >= 1 && results[0].samples <= 10);
+        assert_eq!(
+            (results[0].threads, results[0].pinning.as_deref()),
+            (None, None),
+            "rows before the declaration stay unannotated"
+        );
         assert_eq!(results[1].id, "param/4");
         assert!(results[1].median_ns >= 0.0);
+        assert_eq!(results[1].threads, Some(8));
+        assert_eq!(results[1].pinning.as_deref(), Some("cores"));
     }
 
     #[test]
@@ -370,22 +417,31 @@ mod tests {
                 id: "a/1".into(),
                 median_ns: 12.34,
                 samples: 100,
+                threads: Some(8),
+                pinning: Some("cores".into()),
             },
             BenchResult {
                 group: "g".into(),
                 id: "quote\"d".into(),
                 median_ns: 5.0,
                 samples: 7,
+                threads: None,
+                pinning: None,
             },
         ];
         let json = results_to_json(&results);
         assert!(json.contains("\"median_ns\": 12.3"));
         assert!(json.contains("\"samples\": 100"));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"pinning\": \"cores\""));
         assert!(json.contains("quote\\\"d"));
         assert!(json.trim_end().ends_with('}'));
         // Exactly one separator between the two entries, none after the
         // last.
         assert_eq!(json.matches("},\n").count(), 1);
+        // The optional keys appear only on the row that declared them.
+        assert_eq!(json.matches("\"threads\"").count(), 1);
+        assert_eq!(json.matches("\"pinning\"").count(), 1);
     }
 
     #[test]

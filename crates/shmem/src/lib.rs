@@ -6,8 +6,9 @@
 //!
 //! * [`register::LockFreeRegister`] / [`register::PackedRegister`] /
 //!   [`register::AtomicIndexRegister`] — lock-free linearizable MWMR
-//!   registers (pointer publication for arbitrary values, a single
-//!   `AtomicU64` for word-packable ones);
+//!   registers (an allocation-free inline seqlock cell for ≤16-byte
+//!   trivially-destructible values, pointer publication for the rest, a
+//!   single `AtomicU64` for word-packable ones);
 //!   [`register::LockRegister`] is the lock-based reference.
 //! * [`snapshot::LockFreeSnapshot`] — lock-free snapshot: versioned
 //!   copy-on-write publication with `O(1)` wait-free scans.
@@ -15,8 +16,11 @@
 //!   [`snapshot::WaitFreeSnapshot`] is the Afek et al. construction
 //!   from single-writer registers, the one the paper's unit-cost
 //!   accounting abstracts away.
-//! * [`max_register::LockFreeMaxRegister`] — compare-exchange max
-//!   register; [`max_register::LockMaxRegister`] is the lock-based
+//! * [`max_register::LockFreeMaxRegister`] — max register with a
+//!   combining announce-array fast path for small values (concurrent
+//!   writers collapse into `O(1)` amortized CAS traffic) and a
+//!   compare-exchange publication path for the rest;
+//!   [`max_register::LockMaxRegister`] is the lock-based
 //!   reference and [`max_register::TreeMaxRegister`] the switch-trie
 //!   construction from monotone circuits (footnote 1's object, built
 //!   from plain bits).
@@ -33,9 +37,12 @@
 //! is controlled; this crate shows the algorithms running on real
 //! atomics and provides the substrate for wall-clock benches.
 //!
-//! All `unsafe` in the crate lives in the private `lockfree` module
-//! (pointer publication with reader-gated reclamation); everything else
-//! forbids it.
+//! All `unsafe` in the crate lives in two audited leaf modules: the
+//! private `lockfree` module (pointer publication with reader-gated
+//! reclamation, plus the inline seqlock cells' bitwise payload
+//! encoding) and the tiny [`affinity`] module (one raw
+//! `sched_setaffinity` syscall for bench core pinning); everything
+//! else forbids it.
 //!
 //! Building with the `obs` feature turns on the [`obs`] module's
 //! contention counters and per-op latency histograms; without it every
@@ -44,6 +51,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+#[allow(unsafe_code)]
+pub mod affinity;
 pub mod history;
 pub mod indexed;
 #[allow(unsafe_code)]

@@ -1,9 +1,9 @@
-//! Lock-free publication cells with reader-gated reclamation.
+//! Lock-free publication cells with reader-gated reclamation, plus the
+//! allocation-free inline cells the small-payload register paths use.
 //!
-//! This is the only module in the crate that uses `unsafe`; everything
-//! lock-free in `sift-shmem` (registers, max registers, snapshot
-//! components, the snapshot's cached scan view) is built from the two
-//! types here:
+//! Everything lock-free in `sift-shmem` (registers, max registers,
+//! snapshot components, the snapshot's cached scan view) is built from
+//! the types here:
 //!
 //! * [`Slot<T>`] — an atomic pointer to an immutable heap node holding a
 //!   `T` (null encodes ⊥). Writers publish with a single
@@ -12,6 +12,9 @@
 //! * [`Pile<T>`] — the retire pile shared by the slots of one object:
 //!   *striped* reader pins plus a Treiber stack of stamped retired
 //!   nodes.
+//! * [`SeqCell<T>`] and [`CombiningMax<T>`] — inline seqlock cells for
+//!   payloads that pass [`inline_ok`]: no allocation, no retirement, no
+//!   guards. See the "Inline cells" section below.
 //!
 //! # Reclamation protocol (interval stamps)
 //!
@@ -520,6 +523,404 @@ impl<T: Send> Drop for Slot<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Inline cells: allocation-free fast paths for small payloads.
+//
+// The pointer-publication machinery above is the general case; a plain
+// register holding a ≤16-byte trivially-destructible value does not
+// need any of it. The cells below keep the payload *inline* in atomic
+// words behind a seqlock-style sequence word: writes are a claim CAS
+// plus plain stores, reads are pure loads (no RMW, so concurrent
+// readers never bounce a cache line between cores), and there is no
+// allocation, retirement or reclamation anywhere on the path.
+//
+// The issue text sketches these as a single `AtomicU128` CAS; stable
+// Rust has no 128-bit atomic, and on x86-64 a 16-byte atomic *load*
+// would compile to `lock cmpxchg16b` — an RMW that makes every reader a
+// writer of the cache line. The seqlock form is both portable and
+// strictly cheaper for the 63/64-read workloads the protocols run, at
+// the cost of writers serializing on the claim word (readers stay
+// non-blocking: a read only retries while a writer is mid-publication).
+// DESIGN.md ("Inline seqlock registers") carries the full argument.
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::fence;
+
+/// Words of inline payload a [`SeqCell`]/[`CombiningMax`] holds.
+pub(crate) const INLINE_WORDS: usize = 2;
+
+/// Whether `T` may travel through the inline cells: it must fit the
+/// inline words and be trivially destructible (the cells duplicate the
+/// value bitwise on every read and never run `Drop`, which is only
+/// sound when there is no `Drop`).
+pub(crate) const fn inline_ok<T>() -> bool {
+    std::mem::size_of::<T>() <= INLINE_WORDS * 8 && !std::mem::needs_drop::<T>()
+}
+
+/// Bounded exponential spin, then yield. On oversubscribed hosts (more
+/// threads than cores — the CI containers run the whole contention
+/// bench on one core) the conflicting writer may not even be running,
+/// so burning the rest of the timeslice in `spin_loop` is the worst
+/// possible wait; yielding hands the core to the thread we are waiting
+/// for.
+fn backoff(spins: &mut u32) {
+    if *spins < 6 {
+        for _ in 0..(1u32 << *spins) {
+            std::hint::spin_loop();
+        }
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Copies `value`'s object representation into zero-initialized words.
+///
+/// Any padding bytes of `T` pass through as whatever bits the zeroed
+/// buffer keeps for them — the convention of production seqlocks
+/// (`ptr::copy_nonoverlapping` is documented as an untyped byte copy):
+/// the bits are never reinterpreted except by [`decode`], which only
+/// promises a valid `T` because the words hold a real `T`'s bytes.
+fn encode<T>(value: &T) -> [u64; INLINE_WORDS] {
+    debug_assert!(inline_ok::<T>());
+    let mut words = [0u64; INLINE_WORDS];
+    // Safety: `size_of::<T>() <= size_of_val(&words)` is checked by
+    // `inline_ok` at cell construction; both regions are plain memory.
+    unsafe {
+        ptr::copy_nonoverlapping(
+            (value as *const T).cast::<u8>(),
+            words.as_mut_ptr().cast::<u8>(),
+            std::mem::size_of::<T>(),
+        );
+    }
+    words
+}
+
+/// Rebuilds a `T` from words produced by [`encode`].
+///
+/// # Safety
+///
+/// `words` must hold the image of exactly one complete [`encode`] of a
+/// `T` (the seqlock validation below is what establishes this: the
+/// sequence word was stable across the word loads).
+unsafe fn decode<T>(words: [u64; INLINE_WORDS]) -> T {
+    debug_assert!(inline_ok::<T>());
+    unsafe { ptr::read_unaligned(words.as_ptr().cast::<T>()) }
+}
+
+/// An allocation-free register cell for payloads passing [`inline_ok`].
+///
+/// Layout: a sequence word plus [`INLINE_WORDS`] payload words, padded
+/// to a cache-line pair. Sequence values: `0` = ⊥ (never written),
+/// *odd* = a writer owns the cell, *even ≥ 2* = the payload words hold
+/// a stable [`encode`] image.
+///
+/// The memory-ordering discipline is the classic seqlock (the same one
+/// `crossbeam`'s `AtomicCell` fallback uses): a writer claims with an
+/// `Acquire` CAS to odd, orders its payload stores behind the claim
+/// with a `Release` fence, and publishes with a `Release` store to
+/// even; a reader loads the sequence with `Acquire`, loads the payload
+/// words `Relaxed`, then re-validates the sequence behind an `Acquire`
+/// fence — the fence pair guarantees that if the reader saw any of a
+/// writer's payload stores, the validation load sees that writer's
+/// claim and the read retries.
+///
+/// Progress: reads never block writers and perform no RMW; a read only
+/// retries while a writer is mid-publication, and writers serialize on
+/// the claim word. Writes linearize at the `Release` publish store,
+/// reads at their first sequence load of the validated attempt.
+#[repr(align(128))]
+#[derive(Debug)]
+pub(crate) struct SeqCell<T> {
+    seq: AtomicU64,
+    words: [AtomicU64; INLINE_WORDS],
+    _marker: PhantomData<T>,
+}
+
+impl<T: Send> SeqCell<T> {
+    /// Creates a cell holding ⊥. Panics if `T` fails [`inline_ok`].
+    pub(crate) fn new() -> Self {
+        assert!(inline_ok::<T>(), "SeqCell payload must pass inline_ok");
+        Self {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Writes `value`: claim (CAS to odd), store words, publish (store
+    /// to even).
+    pub(crate) fn write(&self, value: T) {
+        let words = encode(&value);
+        let mut spins = 0u32;
+        let mut cur = self.seq.load(Ordering::Relaxed);
+        loop {
+            if cur & 1 == 0 {
+                match self.seq.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => {
+                        crate::obs::note_inline_write_retry();
+                        cur = now;
+                        continue;
+                    }
+                }
+            }
+            crate::obs::note_inline_write_retry();
+            backoff(&mut spins);
+            cur = self.seq.load(Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+        for (w, v) in self.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        self.seq.store(cur + 2, Ordering::Release);
+        crate::obs::note_inline_register_write();
+    }
+
+    /// Reads the current value (`None` is ⊥): pure loads, validated by
+    /// the sequence word.
+    pub(crate) fn read(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None;
+            }
+            if s1 & 1 == 0 {
+                let words = std::array::from_fn(|i| self.words[i].load(Ordering::Relaxed));
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    // Safety: the sequence was stable and even across
+                    // the word loads, so `words` is one complete
+                    // `encode` image (see the type docs).
+                    return Some(unsafe { decode(words) });
+                }
+            }
+            crate::obs::note_inline_read_retry();
+            backoff(&mut spins);
+        }
+    }
+}
+
+/// One combining cell: a monotone `claim`/`done` stamp pair plus inline
+/// payload words, padded to a cache-line pair.
+///
+/// Stamps hold `key + 1` (`0` is ⊥). Invariants: stamps only grow;
+/// `done ≤ claim` in every stable state; `claim == done` exactly when
+/// the payload words hold a complete [`encode`] image for key
+/// `done - 1`. A writer moves `claim` above `done` with a CAS (taking
+/// exclusive ownership of the words), stores the payload, then stores
+/// `done` and finally `claim` back to equality. The `claim` word doubles
+/// as the seqlock sequence: it changes on every ownership transfer, so
+/// an unchanged `claim` across a reader's word loads validates them.
+#[repr(align(128))]
+#[derive(Debug)]
+struct PairCell {
+    claim: AtomicU64,
+    done: AtomicU64,
+    words: [AtomicU64; INLINE_WORDS],
+}
+
+impl PairCell {
+    fn new() -> Self {
+        Self {
+            claim: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// One optimistic validated read. `Ok(None)` = ⊥, `Ok(Some((stamp,
+    /// words)))` = a stable image, `Err(Unstable)` = a writer was
+    /// mid-flight.
+    fn try_read(&self) -> Result<Option<(u64, [u64; INLINE_WORDS])>, Unstable> {
+        let c1 = self.claim.load(Ordering::Acquire);
+        let d1 = self.done.load(Ordering::Acquire);
+        if d1 == 0 {
+            // No write has completed at the `done` load: a ⊥ read
+            // linearizes there even if a first write is in flight.
+            return Ok(None);
+        }
+        if c1 != d1 {
+            return Err(Unstable);
+        }
+        let words = std::array::from_fn(|i| self.words[i].load(Ordering::Relaxed));
+        fence(Ordering::Acquire);
+        if self.claim.load(Ordering::Relaxed) == c1 {
+            Ok(Some((d1, words)))
+        } else {
+            Err(Unstable)
+        }
+    }
+
+    /// One non-blocking attempt to publish `(tag, words)` into this
+    /// cell: succeeds only if the cell is stable and strictly below
+    /// `tag`. Used for the announce slots — a failed attempt is fine,
+    /// the writer's own combining loop still covers its value.
+    fn try_announce(&self, tag: u64, words: [u64; INLINE_WORDS]) -> bool {
+        let c = self.claim.load(Ordering::Relaxed);
+        let d = self.done.load(Ordering::Relaxed);
+        if c != d || c >= tag {
+            return false;
+        }
+        if self
+            .claim
+            .compare_exchange(c, tag, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        fence(Ordering::Release);
+        for (w, v) in self.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        self.done.store(tag, Ordering::Release);
+        true
+    }
+}
+
+/// Marker for a [`PairCell::try_read`] that raced a writer.
+#[derive(Debug)]
+struct Unstable;
+
+/// An allocation-free combining max register for payloads passing
+/// [`inline_ok`].
+///
+/// The authoritative maximum lives in one [`PairCell`] (`root`);
+/// concurrent writers additionally publish into per-thread announce
+/// cells (indexed by [`stripe_index`], like the pile's reader stripes).
+/// A write first checks `root.done` — if the global maximum already
+/// covers its key it returns immediately with **zero RMWs**. Otherwise
+/// it announces, then competes for the root claim; the single winner
+/// (the *combiner*) scans every stable announce cell and installs the
+/// batch maximum with one store sequence, so `w` concurrent writes
+/// collapse into `O(1)` root CAS traffic and the losers return as soon
+/// as they observe `done` at or above their key.
+///
+/// Correctness sketch (the full argument is in DESIGN.md): a losing
+/// writer only returns when it *observes* `root.done ≥ key + 1`, and
+/// `done` is only advanced by a combiner that either scanned the
+/// loser's announced value or installed a larger key — either way the
+/// loser's write is covered by a linearizable order that places it
+/// (as a dropped, dominated write) after the install. Keys are strictly
+/// monotone along the root's modification order, so the stamp words
+/// never ABA.
+#[derive(Debug)]
+pub(crate) struct CombiningMax<T> {
+    root: PairCell,
+    announce: [PairCell; STRIPES],
+    _marker: PhantomData<T>,
+}
+
+impl<T: Send> CombiningMax<T> {
+    /// Creates an empty register. Panics if `T` fails [`inline_ok`].
+    pub(crate) fn new() -> Self {
+        assert!(inline_ok::<T>(), "CombiningMax payload must pass inline_ok");
+        Self {
+            root: PairCell::new(),
+            announce: std::array::from_fn(|_| PairCell::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Writes `(key, value)`, kept only if `key` exceeds the current
+    /// maximum (ties keep the incumbent). `key` must be below
+    /// `u64::MAX` (the stamp encoding reserves it).
+    pub(crate) fn write(&self, key: u64, value: T) {
+        let tag = key
+            .checked_add(1)
+            .expect("max-register keys must be below u64::MAX");
+        // Dominated fast path: most writes under contention lose to the
+        // running maximum and finish with this single shared load.
+        if self.root.done.load(Ordering::Acquire) >= tag {
+            crate::obs::note_combine_covered();
+            return;
+        }
+        let words = encode(&value);
+        // Publish into this thread's announce cell so a concurrent
+        // combiner can carry this value; failure is harmless (the loop
+        // below still covers it).
+        self.announce[stripe_index()].try_announce(tag, words);
+        let mut spins = 0u32;
+        loop {
+            let d = self.root.done.load(Ordering::Acquire);
+            if d >= tag {
+                crate::obs::note_combine_covered();
+                return;
+            }
+            let c = self.root.claim.load(Ordering::Relaxed);
+            if c == d {
+                match self
+                    .root
+                    .claim
+                    .compare_exchange(c, tag, Ordering::Acquire, Ordering::Relaxed)
+                {
+                    Ok(_) => {
+                        self.install(tag, words, d);
+                        return;
+                    }
+                    Err(_) => {
+                        crate::obs::note_cas_retry();
+                        continue;
+                    }
+                }
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Combiner body: owns the root words (claim is above done). Scans
+    /// the announce cells, installs the batch maximum, and restores
+    /// `claim == done` at the new stamp.
+    fn install(&self, own_tag: u64, own_words: [u64; INLINE_WORDS], prev_done: u64) {
+        let (mut best_tag, mut best_words) = (own_tag, own_words);
+        let mut batch = 1u64;
+        for cell in &self.announce {
+            if let Ok(Some((tag, words))) = cell.try_read() {
+                if tag > prev_done && tag != own_tag {
+                    batch += 1;
+                }
+                if tag > best_tag {
+                    best_tag = tag;
+                    best_words = words;
+                }
+            }
+        }
+        fence(Ordering::Release);
+        for (w, v) in self.root.words.iter().zip(best_words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        self.root.done.store(best_tag, Ordering::Release);
+        self.root.claim.store(best_tag, Ordering::Release);
+        crate::obs::note_combine_install(batch);
+    }
+
+    /// Reads the current maximum entry: pure loads, validated on the
+    /// root claim word.
+    pub(crate) fn read(&self) -> Option<(u64, T)> {
+        let mut spins = 0u32;
+        loop {
+            match self.root.try_read() {
+                Ok(None) => return None,
+                Ok(Some((stamp, words))) => {
+                    // Safety: claim was stable across the word loads,
+                    // so `words` is the complete image for `stamp`.
+                    return Some((stamp - 1, unsafe { decode(words) }));
+                }
+                Err(Unstable) => {
+                    crate::obs::note_inline_read_retry();
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,5 +1053,127 @@ mod tests {
         }
         reader.join().unwrap();
         assert_eq!(slot.read_cloned(&pile), Some(8 * 300 - 1));
+    }
+
+    #[test]
+    fn inline_ok_gates_on_size_and_drop() {
+        assert!(inline_ok::<u64>());
+        assert!(inline_ok::<(u64, u64)>());
+        assert!(inline_ok::<(u32, char)>());
+        assert!(inline_ok::<[u8; 16]>());
+        assert!(!inline_ok::<[u8; 17]>(), "too large");
+        assert!(!inline_ok::<String>(), "needs drop");
+        assert!(!inline_ok::<(u64, u64, u64)>(), "too large");
+    }
+
+    #[test]
+    fn seq_cell_round_trips_all_inline_shapes() {
+        let c: SeqCell<u64> = SeqCell::new();
+        assert_eq!(c.read(), None);
+        c.write(0);
+        assert_eq!(c.read(), Some(0), "0 must be distinguishable from ⊥");
+        c.write(u64::MAX);
+        assert_eq!(c.read(), Some(u64::MAX));
+
+        let p: SeqCell<(u32, char)> = SeqCell::new();
+        p.write((7, 'x'));
+        p.write((9, 'y'));
+        assert_eq!(p.read(), Some((9, 'y')));
+
+        let b: SeqCell<[u8; 16]> = SeqCell::new();
+        b.write([0xAB; 16]);
+        assert_eq!(b.read(), Some([0xAB; 16]));
+    }
+
+    #[test]
+    fn seq_cell_concurrent_reads_never_tear() {
+        let c: Arc<SeqCell<(u64, u64)>> = Arc::new(SeqCell::new());
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for k in 0..2000 {
+                        c.write((k, k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ t));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..4000 {
+                        if let Some((k, tagged)) = c.read() {
+                            let t = tagged ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            assert!(t < 4, "torn read: ({k}, {tagged:#x})");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        let (k, _) = c.read().expect("someone wrote");
+        assert_eq!(k, 1999, "final value is some writer's last write");
+    }
+
+    #[test]
+    fn combining_max_keeps_maximum_and_first_on_tie() {
+        let m: CombiningMax<u64> = CombiningMax::new();
+        assert_eq!(m.read(), None);
+        m.write(5, 50);
+        m.write(3, 30);
+        assert_eq!(m.read(), Some((5, 50)));
+        m.write(7, 70);
+        m.write(7, 71);
+        assert_eq!(m.read(), Some((7, 70)), "ties keep the first value");
+        m.write(0, 1);
+        assert_eq!(m.read(), Some((7, 70)));
+    }
+
+    #[test]
+    #[should_panic(expected = "below u64::MAX")]
+    fn combining_max_rejects_reserved_key() {
+        let m: CombiningMax<u64> = CombiningMax::new();
+        m.write(u64::MAX, 0);
+    }
+
+    #[test]
+    fn combining_max_concurrent_writes_keep_global_maximum() {
+        let m: Arc<CombiningMax<(u32, u32)>> = Arc::new(CombiningMax::new());
+        let writers: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for k in 0..300 {
+                        m.write(t * 300 + k, (t as u32, k as u32));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..2000 {
+                        if let Some((key, (t, k))) = m.read() {
+                            assert_eq!(
+                                key,
+                                u64::from(t) * 300 + u64::from(k),
+                                "entry is self-consistent (no torn key/value pair)"
+                            );
+                            assert!(key >= last, "max went backwards: {last} -> {key}");
+                            last = key;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read(), Some((7 * 300 + 299, (7, 299))));
     }
 }

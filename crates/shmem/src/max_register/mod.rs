@@ -1,8 +1,11 @@
 //! Max registers for real threads.
 //!
-//! * [`LockFreeMaxRegister`] — a compare-exchange loop on the monotone
-//!   key; what [`AtomicMemory`](crate::memory::AtomicMemory) uses by
-//!   default.
+//! * [`LockFreeMaxRegister`] — a combining announce array for ≤16-byte
+//!   trivially-destructible values (one winner installs a whole batch
+//!   of concurrent writes; dominated writes finish with a single shared
+//!   load), falling back to a compare-exchange loop on the monotone key
+//!   for larger values; what
+//!   [`AtomicMemory`](crate::memory::AtomicMemory) uses by default.
 //! * [`LockMaxRegister`] — a mutex-guarded compare-and-keep cell; the
 //!   direct analogue of the simulator's object, kept as the reference
 //!   implementation (the `coarse-substrate` feature switches the

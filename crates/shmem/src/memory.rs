@@ -6,7 +6,10 @@
 //!
 //! * [`LockFreeMemory`] — the lock-free objects
 //!   ([`LockFreeRegister`], [`LockFreeSnapshot`],
-//!   [`LockFreeMaxRegister`]);
+//!   [`LockFreeMaxRegister`]); registers and max registers holding
+//!   small `Copy`-like payloads take allocation-free inline fast
+//!   paths (seqlock cells and a combining announce array) instead of
+//!   pointer publication;
 //! * [`CoarseMemory`] — the lock-based references ([`LockRegister`],
 //!   [`CoarseSnapshot`], [`LockMaxRegister`]).
 //!

@@ -11,6 +11,11 @@
 //! * striped relaxed counters for the hot events — slot CAS retries
 //!   ([`Slot::publish_max`](crate::lockfree)), snapshot republish
 //!   conflicts (`publish_with` rebuild loops), guard entries, retires;
+//! * inline-cell counters — seqlock register publishes and write/read
+//!   retries, combining max-register installs and covered (dominated)
+//!   writes, plus a histogram of writes collapsed per combining
+//!   install; a pure small-payload register workload shows inline
+//!   writes with **zero** retires/guard entries, proving the fast path;
 //! * a retire-pile occupancy gauge with a high-water mark, and a
 //!   histogram of reclamation batch sizes (nodes freed per pass);
 //! * stale-epoch pin events — guards that pinned an epoch already
@@ -80,8 +85,29 @@ pub struct SubstrateSnapshot {
     pub retire_pile_len: u64,
     /// High-water mark of the aggregate retire-pile occupancy.
     pub retire_pile_hwm: u64,
+    /// Completed writes through the inline seqlock register path
+    /// (`SeqCell` publishes). Proves the fast path is taken: a pure
+    /// register workload over inline payloads should show these with
+    /// zero retires/guard entries.
+    pub inline_register_writes: u64,
+    /// Inline-cell write claims that found the sequence word odd or
+    /// lost the claim CAS (writer-writer contention on a `SeqCell`).
+    pub inline_write_retries: u64,
+    /// Inline-cell optimistic reads invalidated by a concurrent writer
+    /// (`SeqCell` reads and `CombiningMax` root reads).
+    pub inline_read_retries: u64,
+    /// Combining max-register installs: root-claim winners that
+    /// collapsed a batch of announced writes into one store sequence.
+    pub combine_installs: u64,
+    /// Combining max-register writes that returned covered — their key
+    /// was at or below the global maximum they observed (the O(1)
+    /// amortized-CAS path).
+    pub combine_covered: u64,
     /// Nodes freed per reclamation pass.
     pub reclaim_batch: Histogram,
+    /// Writes collapsed per combining install (the winner's own write
+    /// plus every fresh announce it carried).
+    pub combine_batch: Histogram,
     /// Per-op wall-clock latency in nanoseconds, indexed by
     /// [`sift_sim::metrics::op_kind_index`].
     pub op_latency_ns: [Histogram; OP_KINDS],
@@ -101,8 +127,17 @@ impl SubstrateSnapshot {
         r.add_count("substrate.retired_nodes", self.retired_nodes);
         r.add_count("substrate.reclaimed_nodes", self.reclaimed_nodes);
         r.add_count("substrate.reclaim_passes", self.reclaim_passes);
+        r.add_count(
+            "substrate.inline_register_writes",
+            self.inline_register_writes,
+        );
+        r.add_count("substrate.inline_write_retries", self.inline_write_retries);
+        r.add_count("substrate.inline_read_retries", self.inline_read_retries);
+        r.add_count("substrate.combine_installs", self.combine_installs);
+        r.add_count("substrate.combine_covered", self.combine_covered);
         r.observe_max("substrate.retire_pile_hwm", self.retire_pile_hwm);
         r.merge_hist("substrate.reclaim_batch", &self.reclaim_batch);
+        r.merge_hist("substrate.combine_batch", &self.combine_batch);
         for (name, hist) in OP_NAMES.iter().zip(&self.op_latency_ns) {
             if !hist.is_empty() {
                 r.merge_hist(&format!("substrate.op_ns.{name}"), hist);
@@ -132,7 +167,13 @@ mod active {
     /// builds' measurement fidelity.
     pub(super) static PILE_LEN: AtomicU64 = AtomicU64::new(0);
     pub(super) static PILE_HWM: MaxTracker = MaxTracker::new();
+    pub(super) static INLINE_REGISTER_WRITES: StripedCounter = StripedCounter::new();
+    pub(super) static INLINE_WRITE_RETRIES: StripedCounter = StripedCounter::new();
+    pub(super) static INLINE_READ_RETRIES: StripedCounter = StripedCounter::new();
+    pub(super) static COMBINE_INSTALLS: StripedCounter = StripedCounter::new();
+    pub(super) static COMBINE_COVERED: StripedCounter = StripedCounter::new();
     pub(super) static RECLAIM_BATCH: AtomicHistogram = AtomicHistogram::new();
+    pub(super) static COMBINE_BATCH: AtomicHistogram = AtomicHistogram::new();
     pub(super) static OP_LATENCY: [AtomicHistogram; OP_KINDS] =
         [const { AtomicHistogram::new() }; OP_KINDS];
 
@@ -147,7 +188,13 @@ mod active {
             reclaim_passes: RECLAIM_PASSES.sum(),
             retire_pile_len: PILE_LEN.load(Ordering::Relaxed),
             retire_pile_hwm: PILE_HWM.get(),
+            inline_register_writes: INLINE_REGISTER_WRITES.sum(),
+            inline_write_retries: INLINE_WRITE_RETRIES.sum(),
+            inline_read_retries: INLINE_READ_RETRIES.sum(),
+            combine_installs: COMBINE_INSTALLS.sum(),
+            combine_covered: COMBINE_COVERED.sum(),
             reclaim_batch: RECLAIM_BATCH.snapshot(),
+            combine_batch: COMBINE_BATCH.snapshot(),
             op_latency_ns: std::array::from_fn(|i| OP_LATENCY[i].snapshot()),
         }
     }
@@ -162,7 +209,13 @@ mod active {
         RECLAIM_PASSES.reset();
         PILE_LEN.store(0, Ordering::Relaxed);
         PILE_HWM.reset();
+        INLINE_REGISTER_WRITES.reset();
+        INLINE_WRITE_RETRIES.reset();
+        INLINE_READ_RETRIES.reset();
+        COMBINE_INSTALLS.reset();
+        COMBINE_COVERED.reset();
         RECLAIM_BATCH.reset();
+        COMBINE_BATCH.reset();
         for h in &OP_LATENCY {
             h.reset();
         }
@@ -253,6 +306,22 @@ hooks! {
         active::PILE_LEN.fetch_sub(freed, Ordering::Relaxed);
         active::RECLAIM_BATCH.record(freed);
     }
+    fn note_inline_register_write() {
+        active::INLINE_REGISTER_WRITES.add(1);
+    }
+    fn note_inline_write_retry() {
+        active::INLINE_WRITE_RETRIES.add(1);
+    }
+    fn note_inline_read_retry() {
+        active::INLINE_READ_RETRIES.add(1);
+    }
+    fn note_combine_install(batch: u64) {
+        active::COMBINE_INSTALLS.add(1);
+        active::COMBINE_BATCH.record(batch);
+    }
+    fn note_combine_covered() {
+        active::COMBINE_COVERED.add(1);
+    }
     fn record_op_latency(kind_index: usize, ns: u64) {
         active::OP_LATENCY[kind_index].record(ns);
     }
@@ -275,6 +344,11 @@ mod tests {
         note_retire();
         note_retire();
         note_reclaim(1, 1);
+        note_inline_register_write();
+        note_inline_write_retry();
+        note_inline_read_retry();
+        note_combine_install(3);
+        note_combine_covered();
         record_op_latency(0, 123);
         let snap = snapshot();
         if enabled() {
@@ -286,6 +360,12 @@ mod tests {
             assert!(snap.reclaimed_nodes >= 1);
             assert!(snap.retire_pile_hwm >= 2);
             assert!(snap.reclaim_batch.count() >= 1);
+            assert!(snap.inline_register_writes >= 1);
+            assert!(snap.inline_write_retries >= 1);
+            assert!(snap.inline_read_retries >= 1);
+            assert!(snap.combine_installs >= 1);
+            assert!(snap.combine_covered >= 1);
+            assert!(snap.combine_batch.count() >= 1);
             assert!(snap.op_latency_ns[0].count() >= 1);
         } else {
             assert_eq!(
@@ -303,12 +383,18 @@ mod tests {
         let mut snap = SubstrateSnapshot {
             slot_cas_retries: 3,
             retire_pile_hwm: 9,
+            inline_register_writes: 11,
+            combine_covered: 5,
             ..SubstrateSnapshot::default()
         };
         snap.op_latency_ns[0].record(100);
+        snap.combine_batch.record(4);
         let report = snap.to_report();
         assert_eq!(report.count("substrate.slot_cas_retries"), 3);
         assert_eq!(report.max("substrate.retire_pile_hwm"), 9);
+        assert_eq!(report.count("substrate.inline_register_writes"), 11);
+        assert_eq!(report.count("substrate.combine_covered"), 5);
+        assert_eq!(report.hist("substrate.combine_batch").unwrap().count(), 1);
         assert_eq!(
             report
                 .hist("substrate.op_ns.register_read")

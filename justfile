@@ -101,6 +101,7 @@ bench:
     cargo bench -p sift-bench
 
 # Refresh the tracked contention baseline: runs the contention bench
+# (full thread sweep t ∈ {2,4,8,16}; narrow with SIFT_BENCH_THREADS)
 # and writes per-benchmark medians to BENCH_shmem.json at the repo
 # root, plus the observation companion BENCH_obs.json (all-zero
 # substrate counters in this default build; see `bench-obs`). Also

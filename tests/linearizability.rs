@@ -15,7 +15,7 @@ use sift::sim::mc::{check_linearizable, History, HistoryEntry, ObjectKey};
 use sift::sim::rng::{SeedSplitter, Xoshiro256StarStar};
 use sift::sim::{
     Layout, LayoutBuilder, MaxRegisterId, Op, OpResult, Process, ProcessId, RegisterId, SnapshotId,
-    Step,
+    Step, Value,
 };
 
 /// A process that performs a pre-generated random operation sequence
@@ -103,6 +103,89 @@ fn focused_workload(
 ) -> RandomWorkload {
     let ops = (0..len).map(|_| layout_op(rng, pid)).collect();
     RandomWorkload { ops, next: 0 }
+}
+
+/// A pre-generated operation sequence over an arbitrary value type —
+/// the value-generic sibling of [`RandomWorkload`], for histories of
+/// the register paths whose representation depends on the value type
+/// (inline seqlock for ≤16-byte payloads, pointer publication beyond).
+#[derive(Clone)]
+struct TypedWorkload<V> {
+    ops: Vec<Op<V>>,
+    next: usize,
+}
+
+impl<V: Value> Process for TypedWorkload<V> {
+    type Value = V;
+    type Output = usize;
+
+    fn step(&mut self, _prev: Option<OpResult<V>>) -> Step<V, usize> {
+        if self.next < self.ops.len() {
+            self.next += 1;
+            Step::Issue(self.ops[self.next - 1].clone())
+        } else {
+            Step::Done(self.ops.len())
+        }
+    }
+}
+
+/// Captures threaded register histories over value type `V` (4
+/// processes × 8 ops, 2 registers) and checks each against Wing–Gong.
+fn check_register_histories<V: Value + PartialEq>(tag: &str, mut value: impl FnMut(u64) -> V) {
+    for seed in 0..10 {
+        let mut b = LayoutBuilder::new();
+        let regs = b.registers(2);
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut rng = split.stream(tag, i as u64);
+                let ops = (0..8)
+                    .map(|_| {
+                        let r = regs[rng.range_u64(regs.len() as u64) as usize];
+                        if rng.range_u64(2) == 0 {
+                            Op::RegisterRead(r)
+                        } else {
+                            Op::RegisterWrite(r, value(rng.next_u64() % 50))
+                        }
+                    })
+                    .collect();
+                TypedWorkload { ops, next: 0 }
+            })
+            .collect();
+        let (_, history) = run_threads_recorded(&layout, procs);
+        history.check_well_formed().unwrap();
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Captures threaded max-register histories over value type `V` and
+/// checks each against Wing–Gong.
+fn check_max_register_histories<V: Value + PartialEq>(tag: &str, mut value: impl FnMut(u64) -> V) {
+    for seed in 0..10 {
+        let mut b = LayoutBuilder::new();
+        let m = b.max_register();
+        let layout = b.build();
+        let split = SeedSplitter::new(seed);
+        let procs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut rng = split.stream(tag, i as u64);
+                let ops = (0..8)
+                    .map(|_| {
+                        if rng.range_u64(2) == 0 {
+                            Op::MaxRead(m)
+                        } else {
+                            Op::MaxWrite(m, rng.range_u64(10), value(rng.next_u64() % 50))
+                        }
+                    })
+                    .collect();
+                TypedWorkload { ops, next: 0 }
+            })
+            .collect();
+        let (_, history) = run_threads_recorded(&layout, procs);
+        history.check_well_formed().unwrap();
+        check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
 }
 
 /// Threaded histories of the lock-free register alone must linearize.
@@ -198,6 +281,39 @@ fn threaded_max_register_histories_linearize() {
         history.check_well_formed().unwrap();
         check_linearizable(&layout, &history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
+}
+
+/// The inline seqlock register path (16-byte payloads): threaded
+/// histories must linearize. `(u64, u64)` fills both inline words, so a
+/// torn read — half of one write, half of another — would be caught
+/// here as a value no write produced.
+#[test]
+fn threaded_inline_register_histories_linearize() {
+    check_register_histories("inline-reg", |v| (v, v.wrapping_mul(3)));
+}
+
+/// The pointer-publication register path (oversized payloads):
+/// threaded histories must still linearize after the inline-path
+/// refactor pushed it behind a representation dispatch.
+#[test]
+fn threaded_published_register_histories_linearize() {
+    check_register_histories("boxed-reg", |v| [v, v + 1, v + 2]);
+}
+
+/// The combining max-register path (inline payloads): threaded
+/// histories must linearize — in particular, a write that returned
+/// because a combiner covered it must be explainable as a dominated
+/// write at some point inside its invocation interval.
+#[test]
+fn threaded_combining_max_register_histories_linearize() {
+    check_max_register_histories("combine-max", |v| (v, v.wrapping_mul(7)));
+}
+
+/// The pointer-publication max-register path (oversized payloads) must
+/// still linearize behind the representation dispatch.
+#[test]
+fn threaded_published_max_register_histories_linearize() {
+    check_max_register_histories("boxed-max", |v| [v, v + 1, v + 2]);
 }
 
 /// Free-running threads over `RecordingMemory`: every captured

@@ -12,8 +12,8 @@
 use sift::core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
 use sift::shmem::{run_lockstep_on, run_script_on, AtomicMemory, CoarseMemory, LockFreeMemory};
 use sift::sim::mc::replay_report;
-use sift::sim::rng::SeedSplitter;
-use sift::sim::{LayoutBuilder, Op, ProcessId};
+use sift::sim::rng::{SeedSplitter, Xoshiro256StarStar};
+use sift::sim::{LayoutBuilder, Op, OpResult, Process, ProcessId, Step, Value};
 use sift_bench::fuzz::{run_fuzz, FuzzConfig};
 
 /// Raw-operation differential: every operation of a seeded mixed
@@ -50,6 +50,154 @@ fn raw_operations_agree_across_substrates() {
             assert_eq!(a, b, "seed {seed}, step {step}, op {op:?}");
         }
     }
+}
+
+/// A pre-generated operation sequence over an arbitrary value type
+/// that logs the `Debug` rendering of every result it receives — so
+/// two substrates driven through the same schedule can be compared
+/// operation by operation, not just on their final state.
+#[derive(Clone)]
+struct ObservingWorkload<V> {
+    ops: Vec<Op<V>>,
+    next: usize,
+    log: Vec<String>,
+}
+
+impl<V: Value> Process for ObservingWorkload<V> {
+    type Value = V;
+    type Output = Vec<String>;
+
+    fn step(&mut self, prev: Option<OpResult<V>>) -> Step<V, Vec<String>> {
+        if let Some(r) = prev {
+            self.log.push(format!("{r:?}"));
+        }
+        if self.next < self.ops.len() {
+            self.next += 1;
+            Step::Issue(self.ops[self.next - 1].clone())
+        } else {
+            Step::Done(self.log.clone())
+        }
+    }
+}
+
+/// Builds per-process register/max-register workloads over value type
+/// `V` for the interleaved differentials below.
+fn typed_workloads<V: Value>(
+    seed: u64,
+    n: usize,
+    ops_per_proc: usize,
+    regs: &[sift::sim::RegisterId],
+    max_regs: &[sift::sim::MaxRegisterId],
+    mut value: impl FnMut(u64) -> V,
+) -> Vec<ObservingWorkload<V>> {
+    let split = SeedSplitter::new(seed);
+    (0..n)
+        .map(|i| {
+            let mut rng = split.stream("typed-diff", i as u64);
+            let ops = (0..ops_per_proc)
+                .map(|_| match rng.range_u64(4) {
+                    0 => Op::RegisterRead(regs[rng.range_u64(regs.len() as u64) as usize]),
+                    1 => Op::RegisterWrite(
+                        regs[rng.range_u64(regs.len() as u64) as usize],
+                        value(rng.next_u64() % 100),
+                    ),
+                    2 => Op::MaxRead(max_regs[rng.range_u64(max_regs.len() as u64) as usize]),
+                    _ => Op::MaxWrite(
+                        max_regs[rng.range_u64(max_regs.len() as u64) as usize],
+                        rng.range_u64(16),
+                        value(rng.next_u64() % 100),
+                    ),
+                })
+                .collect();
+            ObservingWorkload {
+                ops,
+                next: 0,
+                log: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// The inline register paths under randomized interleavings: a seeded
+/// random schedule script drives the same per-process workloads
+/// through the lock-free substrate (seqlock registers + combining max
+/// registers for these payloads) and the lock-based references, and
+/// every operation result must agree. The payload fills both inline
+/// words, so a torn read or a lost combining write would diverge here
+/// with a replayable (seed, script) witness.
+#[test]
+fn interleaved_inline_workloads_agree_across_substrates() {
+    run_interleaved_differential("inline", |v| (v, v.wrapping_mul(3)));
+}
+
+/// The same randomized-interleaving differential for oversized
+/// payloads, pinning the pointer-publication paths behind the new
+/// representation dispatch.
+#[test]
+fn interleaved_oversized_workloads_agree_across_substrates() {
+    run_interleaved_differential("oversized", |v| [v, v + 1, v + 2]);
+}
+
+fn run_interleaved_differential<V: Value + PartialEq>(tag: &str, mut value: impl FnMut(u64) -> V) {
+    let (n, ops_per_proc) = (4, 12);
+    for seed in 0..10u64 {
+        let mut b = LayoutBuilder::new();
+        let regs = b.registers(2);
+        let max_regs = b.max_registers(2);
+        let layout = b.build();
+        // A random schedule long enough to drain every process, with
+        // deliberately uneven process frequencies (solo bursts and
+        // stragglers both occur across seeds).
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5EED);
+        let script: Vec<usize> = (0..n * (ops_per_proc + 2) * 2)
+            .map(|_| rng.range_u64(n as u64) as usize)
+            .collect();
+        let mut make = |s| typed_workloads(s, n, ops_per_proc, &regs, &max_regs, &mut value);
+        let on_lockfree = run_script_on(&LockFreeMemory::new(&layout), make(seed), &script);
+        let on_coarse = run_script_on(&CoarseMemory::new(&layout), make(seed), &script);
+        assert_eq!(on_lockfree, on_coarse, "{tag}, seed {seed}");
+        assert!(
+            on_lockfree.iter().any(|o| o.is_some()),
+            "{tag}, seed {seed}: schedule drained no process at all"
+        );
+    }
+}
+
+/// Genuinely threaded combining-max differential: unique keys make the
+/// final state deterministic, so after all writers join, the combining
+/// register must hold exactly what the lock-based reference holds
+/// after the same (sequentially applied) write set.
+#[test]
+fn threaded_combining_max_final_state_matches_lock_reference() {
+    use sift::shmem::max_register::{LockFreeMaxRegister, LockMaxRegister};
+    use std::sync::Arc;
+
+    let (threads, writes) = (8u64, 400u64);
+    let combining: Arc<LockFreeMaxRegister<(u32, u32)>> = Arc::new(LockFreeMaxRegister::new());
+    assert!(combining.is_combining());
+    let reference: LockMaxRegister<(u32, u32)> = LockMaxRegister::new();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let combining = Arc::clone(&combining);
+            std::thread::spawn(move || {
+                // Interleave key ranges across threads so the running
+                // maximum keeps changing hands.
+                for k in 0..writes {
+                    let key = k * threads + t;
+                    combining.write(key, (t as u32, k as u32));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..threads {
+        for k in 0..writes {
+            reference.write(k * threads + t, (t as u32, k as u32));
+        }
+    }
+    assert_eq!(combining.read(), reference.read());
 }
 
 /// The sifting conciliator, run in lockstep from identical seeds, must
