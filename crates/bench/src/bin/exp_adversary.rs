@@ -1,8 +1,74 @@
-//! Experiment binary: prints the `adversary` tables (see DESIGN.md index).
+//! Experiment binary: prints the `adversary` tables — E12 (schedule
+//! families), E16 (crash subsets), E24 (the adversary-lattice sweep) —
+//! plus the E25 negative conformance tier that pins the obliviousness
+//! boundary.
+//!
+//! * `SIFT_TRIALS` — trials per lattice cell and negative-tier scale
+//! * `SIFT_ADVERSARY_JSON` — if set, write the lattice sweep and the
+//!   negative-tier verdicts to this path — `just bench-json` points it
+//!   at `BENCH_adversary.json`.
+//!
+//! The exit code is nonzero if any negative-tier case lands on the
+//! wrong side of the boundary or the JSON could not be written.
+use sift_bench::conformance::{self, ClaimResult};
+use sift_bench::experiments::adversary::{self, LatticeReport};
+use sift_bench::runner::default_trials;
+
+fn adversary_json(lattice: &LatticeReport, negative: &[ClaimResult]) -> String {
+    let lattice_json = lattice.to_json();
+    let body = lattice_json
+        .strip_suffix("}\n")
+        .expect("LatticeReport::to_json ends with a closing brace");
+    let mut out = String::from(body);
+    out.push_str(&format!(
+        "  ,\n  \"lattice_digest\": \"{:#018x}\",\n  \"negative\": [\n",
+        lattice.digest()
+    ));
+    for (i, r) in negative.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"trials\": {}, \"pass\": {}}}{}\n",
+            r.id,
+            r.trials,
+            r.pass,
+            if i + 1 < negative.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     sift_bench::cli::init();
-    for t in sift_bench::experiments::adversary::run() {
+    for t in adversary::run_base() {
         t.print();
     }
+
+    let lattice = adversary::run_lattice(
+        adversary::LATTICE_N,
+        default_trials(adversary::LATTICE_TRIALS),
+    );
+    lattice.table().print();
+    println!("lattice digest: {:#018x}\n", lattice.digest());
+
+    let negative = conformance::run_negative(default_trials(1));
+    conformance::render_negative(&negative).print();
+    println!("negative digest: {:#018x}", conformance::digest(&negative));
+
+    if let Ok(path) = std::env::var("SIFT_ADVERSARY_JSON") {
+        if !path.is_empty() {
+            match std::fs::write(&path, adversary_json(&lattice, &negative)) {
+                Ok(()) => eprintln!("wrote adversary report to {path}"),
+                Err(e) => {
+                    eprintln!("cannot write adversary report to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     sift_bench::cli::finish();
+    if !conformance::all_pass(&negative) {
+        eprintln!("negative conformance: a case landed on the wrong side of the boundary");
+        std::process::exit(1);
+    }
 }

@@ -8,6 +8,9 @@
 //! * `SIFT_FUZZ_GENERATIONS` — propose/evaluate/absorb cycles (12)
 //! * `SIFT_FUZZ_POPULATION` — candidates per generation (16)
 //! * `SIFT_FUZZ_SEED` — campaign master seed
+//! * `SIFT_FUZZ_EXTENDED` — any value but `0`: propose from the
+//!   extended gene pool (adversary-strength and register-semantics
+//!   environment genes; the nightly heavy job sets this)
 //! * `SIFT_FUZZ_OUT` — optional path for a plain-text campaign report
 //!   (what the nightly CI job uploads as an artifact)
 //!
@@ -52,6 +55,7 @@ fn main() {
         generations: env_usize("SIFT_FUZZ_GENERATIONS", defaults.generations),
         population: env_usize("SIFT_FUZZ_POPULATION", defaults.population),
         seed: env_u64("SIFT_FUZZ_SEED", defaults.seed),
+        extended: std::env::var("SIFT_FUZZ_EXTENDED").is_ok_and(|v| v != "0"),
     };
 
     let start = std::time::Instant::now();
@@ -59,8 +63,8 @@ fn main() {
 
     let mut summary = String::new();
     summary.push_str(&format!(
-        "fuzz campaign: n={} generations={} population={} seed={:#x}\n",
-        config.n, config.generations, config.population, config.seed
+        "fuzz campaign: n={} generations={} population={} seed={:#x} extended={}\n",
+        config.n, config.generations, config.population, config.seed, config.extended
     ));
     summary.push_str(&format!(
         "evaluated {} candidates; {} distinct fingerprints; corpus {}; {} violations\n",

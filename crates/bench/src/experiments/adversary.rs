@@ -1,23 +1,240 @@
 //! E12/E16 — robustness across adversary strategies, and wait-freedom
-//! under crash failures.
+//! under crash failures — plus E24, the adversary-lattice sweep:
+//! agreement as a function of adversary strength (oblivious →
+//! k-delayed → late → adaptive) on both the atomic and the regular
+//! register substrate.
 
 use sift_core::{
     CilConciliator, Conciliator, EmbeddedConciliator, Epsilon, EscalatingCilConciliator,
     SiftingConciliator, SnapshotConciliator,
 };
+use sift_sim::adversary::AdversaryStrength;
+use sift_sim::fuzz::FingerprintHasher;
 use sift_sim::rng::SeedSplitter;
-use sift_sim::schedule::{CrashSubset, RoundRobin, Schedule, ScheduleKind};
-use sift_sim::{Engine, LayoutBuilder, ProcessId};
+use sift_sim::schedule::{CrashSubset, RandomInterleave, RoundRobin, Schedule, ScheduleKind};
+use sift_sim::{Engine, LayoutBuilder, ProcessId, RegisterSemantics, Resolution};
 
 use crate::exec::Batch;
 use crate::runner::default_trials;
 use crate::stats::RateCounter;
 use crate::table::{fmt_f64, Table};
 
-/// Agreement rates per (conciliator, schedule family), plus wait-freedom
-/// under crash subsets.
+/// Agreement rates per (conciliator, schedule family), wait-freedom
+/// under crash subsets, and the adversary-lattice sweep.
 pub fn run() -> Vec<Table> {
+    let mut tables = run_base();
+    tables.push(run_lattice(LATTICE_N, default_trials(LATTICE_TRIALS)).table());
+    tables
+}
+
+/// The E12/E16 tables alone — the lattice sweep is separate so the
+/// experiment binary can reuse one sweep for the table, the digest,
+/// and the `BENCH_adversary.json` artifact.
+pub fn run_base() -> Vec<Table> {
     vec![schedules(), crashes()]
+}
+
+/// Instance size of the lattice sweep (adaptive runs scan the live set
+/// each step, so this stays below the E12 n = 64).
+pub const LATTICE_N: usize = 32;
+
+/// Default trials per lattice cell (scaled by `SIFT_TRIALS`).
+pub const LATTICE_TRIALS: usize = 100;
+
+/// One cell of the agreement-vs-adversary-strength sweep: a lattice
+/// point × substrate pair with integer tallies (integers, not rates, so
+/// the [`digest`](LatticeReport::digest) is exact and thread-invariant).
+#[derive(Debug, Clone)]
+pub struct LatticeCell {
+    /// Lattice point name (see [`AdversaryStrength::name`]).
+    pub strength: String,
+    /// `"atomic"` or `"regular"`.
+    pub substrate: &'static str,
+    /// Trials behind the tallies.
+    pub trials: u64,
+    /// Trials where every decided process returned one persona.
+    pub agreements: u64,
+    /// Sum over trials of the distinct-output count.
+    pub distinct_sum: u64,
+}
+
+impl LatticeCell {
+    /// Fraction of trials that agreed.
+    pub fn agree_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.agreements as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean distinct outputs per trial.
+    pub fn mean_distinct(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.distinct_sum as f64 / self.trials as f64
+        }
+    }
+}
+
+/// The E24 sweep: the sifting conciliator at every adversary-lattice
+/// point, on the atomic and the regular (coin-resolved) substrate.
+#[derive(Debug)]
+pub struct LatticeReport {
+    /// Processes per trial.
+    pub n: usize,
+    /// One cell per lattice point × substrate, in sweep order.
+    pub cells: Vec<LatticeCell>,
+}
+
+impl LatticeReport {
+    /// Renders the sweep as the E24 table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            format!(
+                "E24 — agreement vs adversary strength (sifting, n = {}, distinct inputs)",
+                self.n
+            ),
+            &[
+                "adversary",
+                "substrate",
+                "trials",
+                "agree rate",
+                "mean distinct outputs",
+            ],
+        );
+        for c in &self.cells {
+            table.row(vec![
+                c.strength.clone(),
+                c.substrate.to_string(),
+                c.trials.to_string(),
+                fmt_f64(c.agree_rate()),
+                fmt_f64(c.mean_distinct()),
+            ]);
+        }
+        table.note(
+            "Strength decreases left-to-right along the lattice: the oblivious row is the \
+             paper's model; delayed choosers interpolate; the adaptive row is the E20 \
+             breaker. The regular substrate resolves overlapping reads by coin, weakening \
+             sifting even against the oblivious adversary.",
+        );
+        table
+    }
+
+    /// The sweep as a small JSON document (tracked in
+    /// `BENCH_adversary.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"n\": {},\n", self.n));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"strength\": \"{}\", \"substrate\": \"{}\", \"trials\": {}, \
+                 \"agreements\": {}, \"agree_rate\": {:.4}, \"mean_distinct\": {:.4}}}{}\n",
+                c.strength,
+                c.substrate,
+                c.trials,
+                c.agreements,
+                c.agree_rate(),
+                c.mean_distinct(),
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// FNV digest over the integer tallies — the seed-stability
+    /// regression hook, byte-identical across `SIFT_THREADS`.
+    pub fn digest(&self) -> u64 {
+        let mut h = FingerprintHasher::new();
+        h.write_usize(self.n);
+        for c in &self.cells {
+            h.write_bytes(c.strength.as_bytes());
+            h.write_bytes(c.substrate.as_bytes());
+            h.write_u64(c.trials);
+            h.write_u64(c.agreements);
+            h.write_u64(c.distinct_sum);
+        }
+        h.finish()
+    }
+}
+
+/// A named substrate: a label plus a per-trial-seed semantics choice.
+type Substrate = (&'static str, fn(u64) -> RegisterSemantics);
+
+/// Runs the lattice sweep: every [`AdversaryStrength::lattice`] point ×
+/// {atomic, regular} substrate, `trials` seeded trials per cell. Seeds
+/// are fixed per cell (independent of `SIFT_SEED`), so the report's
+/// [`digest`](LatticeReport::digest) is a stable golden.
+pub fn run_lattice(n: usize, trials: usize) -> LatticeReport {
+    let split = SeedSplitter::new(0x5EED_AD7E);
+    let substrates: [Substrate; 2] = [
+        ("atomic", |_| RegisterSemantics::Atomic),
+        ("regular", |seed| {
+            RegisterSemantics::Regular(Resolution::Coin(seed))
+        }),
+    ];
+    let mut cells = Vec::new();
+    for (i, strength) in AdversaryStrength::lattice().into_iter().enumerate() {
+        for (j, (substrate, semantics_of)) in substrates.into_iter().enumerate() {
+            let (agree, distinct_sum) = Batch::new(n, trials, ScheduleKind::RandomInterleave)
+                .with_master_seed(split.seed("cell", (i * substrates.len() + j) as u64))
+                .run_with(
+                    |spec| lattice_trial(n, spec.seed, strength, semantics_of),
+                    || (RateCounter::new(), 0u64),
+                    |(agree, sum), (ok, d)| {
+                        agree.record(ok);
+                        *sum += d as u64;
+                    },
+                );
+            cells.push(LatticeCell {
+                strength: strength.name(),
+                substrate,
+                trials: agree.total(),
+                agreements: agree.hits(),
+                distinct_sum,
+            });
+        }
+    }
+    LatticeReport { n, cells }
+}
+
+/// One sifting trial under a lattice point and substrate: oblivious
+/// strengths run the fixed [`RandomInterleave`] schedule; stronger
+/// points drive a [`DelayedChooser`] running the E20 sifting breaker on
+/// `k`-stale observations.
+fn lattice_trial(
+    n: usize,
+    seed: u64,
+    strength: AdversaryStrength,
+    semantics_of: fn(u64) -> RegisterSemantics,
+) -> (bool, usize) {
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+    let layout = b.build();
+    let split = SeedSplitter::new(seed);
+    let procs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let mut engine = Engine::new(&layout, procs);
+    engine.set_register_semantics(semantics_of(split.seed("regular", 0)));
+    let report = match strength.delay() {
+        None => engine.run(RandomInterleave::new(n, split.seed("schedule", 0))),
+        Some(delay) => crate::runner::run_sifting_breaker(engine, delay),
+    };
+    use std::collections::HashSet;
+    let distinct: HashSet<u64> = report
+        .outputs
+        .iter()
+        .flatten()
+        .map(|p| p.origin().index() as u64)
+        .collect();
+    (distinct.len() <= 1, distinct.len())
 }
 
 type BatchFn = Box<dyn Fn(ScheduleKind, usize) -> RateCounter>;

@@ -33,6 +33,7 @@
 use sift_core::{
     distinct_per_round, try_check_validity, Conciliator, Epsilon, RoundHistory, SiftingConciliator,
 };
+
 use sift_sim::fuzz::{
     interleaving_signature, Evaluation, FingerprintHasher, FuzzFailure, FuzzViolation, Fuzzer,
     ScheduleGenome,
@@ -55,6 +56,11 @@ pub struct FuzzConfig {
     /// Master seed of the campaign (drives both genome proposal and
     /// every per-candidate protocol randomness).
     pub seed: u64,
+    /// Propose from the extended gene pool: environment genes choosing
+    /// the adversary-lattice point and the register semantics each
+    /// candidate runs under. Off by default — the base pool's proposal
+    /// stream is pinned by the seed-stability goldens.
+    pub extended: bool,
 }
 
 impl Default for FuzzConfig {
@@ -65,6 +71,7 @@ impl Default for FuzzConfig {
             generations: 12,
             population: 16,
             seed: 0xF0_22,
+            extended: false,
         }
     }
 }
@@ -132,7 +139,8 @@ fn run_fuzz_with(
     assert!(config.n > 0, "need at least one process");
     assert!(config.population > 0, "need a nonempty generation");
     let split = SeedSplitter::new(config.seed);
-    let mut fuzzer = Fuzzer::new(config.n, split.seed("proposals", 0));
+    let mut fuzzer =
+        Fuzzer::new(config.n, split.seed("proposals", 0)).with_extended_genes(config.extended);
 
     for generation in 0..config.generations {
         let candidates = fuzzer.propose(config.population);
@@ -196,6 +204,7 @@ fn evaluate(
             .collect::<Vec<_>>()
     };
 
+    let env = genome.environment();
     let schedule = genome.compile(n);
     // A correct sifter finishes every process in R charged ops; skipped
     // slots of finished processes also count against the budget, so
@@ -205,7 +214,16 @@ fn evaluate(
     let mut engine = Engine::new(&layout, factory());
     engine.enable_trace();
     engine.limit_slots(budget);
-    let report = engine.run(schedule);
+    engine.set_register_semantics(env.semantics);
+    let report = match env.strength.delay() {
+        // Oblivious: the compiled genome schedule, fixed before the run.
+        None => engine.run(schedule),
+        // Stronger lattice points replace the compiled schedule with a
+        // k-stale reactive chooser running the E20-style sifting
+        // breaker: prefer the earliest-round reader, so first-round
+        // reads land before the writes they should have seen.
+        Some(delay) => crate::runner::run_sifting_breaker(engine, delay),
+    };
 
     let trace = report.trace.as_ref().expect("trace recording was enabled");
     let script: Vec<usize> = trace.events().iter().map(|e| e.pid.index()).collect();
@@ -220,8 +238,10 @@ fn evaluate(
     }
     let fingerprint = h.finish();
 
-    let property =
-        |r: &RunReport<sift_core::SiftingParticipant>| check_invariants(n, steps_bound, r);
+    let oblivious = env.strength.is_oblivious();
+    let property = |r: &RunReport<sift_core::SiftingParticipant>| {
+        check_invariants(n, steps_bound, oblivious, r)
+    };
     let failure = property(&report).err().map(|message| {
         // A violation that reproduces under deterministic replay of the
         // charged script shrinks to a 1-minimal script; one that
@@ -251,17 +271,26 @@ fn evaluate(
 }
 
 /// The schedule-independent invariants of the sifting conciliator.
+///
+/// Survivor monotonicity and validity hold for every environment the
+/// extended genome can ask for. The step-bound and livelock invariants
+/// are *oblivious-tier* claims (the paper states its complexity bounds
+/// against the oblivious adversary only), so runs driven by a
+/// stronger-than-oblivious chooser skip them.
 fn check_invariants(
     n: usize,
     steps_bound: u64,
+    oblivious: bool,
     report: &RunReport<sift_core::SiftingParticipant>,
 ) -> Result<(), String> {
-    for (pid, &ops) in report.metrics.per_process_ops.iter().enumerate() {
-        if ops > steps_bound {
-            return Err(format!(
-                "step bound violated: process {pid} performed {ops} charged ops \
-                 (bound {steps_bound})"
-            ));
+    if oblivious {
+        for (pid, &ops) in report.metrics.per_process_ops.iter().enumerate() {
+            if ops > steps_bound {
+                return Err(format!(
+                    "step bound violated: process {pid} performed {ops} charged ops \
+                     (bound {steps_bound})"
+                ));
+            }
         }
     }
     let survivors = distinct_per_round(report.processes.iter().map(|p| p.history()));
@@ -274,7 +303,7 @@ fn check_invariants(
     }
     let inputs: Vec<u64> = (0..n as u64).collect();
     try_check_validity(&inputs, &report.outputs)?;
-    if report.stop_reason == StopReason::SlotLimit {
+    if oblivious && report.stop_reason == StopReason::SlotLimit {
         return Err(format!(
             "slot budget exhausted after {} charged ops + {} skipped slots — livelock",
             report.metrics.total_ops, report.metrics.skipped_slots
@@ -293,6 +322,7 @@ mod tests {
             generations: 3,
             population: 6,
             seed: 11,
+            extended: false,
         }
     }
 
@@ -351,6 +381,35 @@ mod tests {
             .collect();
         let report = Engine::new(&layout, procs).run(sift_sim::schedule::RoundRobin::new(4));
         assert_eq!(report.stop_reason, StopReason::AllDone);
-        check_invariants(4, c.steps_bound().unwrap(), &report).unwrap();
+        check_invariants(4, c.steps_bound().unwrap(), true, &report).unwrap();
+    }
+
+    /// The extended pool drives candidates through every environment —
+    /// delayed/adaptive choosers, regular register semantics — and the
+    /// tier-tagged invariants must stay clean on correct code.
+    #[test]
+    fn extended_campaign_is_clean_and_reproducible() {
+        let _guard = crate::exec::override_lock();
+        let config = FuzzConfig {
+            extended: true,
+            generations: 4,
+            ..tiny()
+        };
+        let a = run_fuzz(&config);
+        assert!(
+            a.violations.is_empty(),
+            "unexpected violations: {}",
+            a.violations[0]
+        );
+        assert!(a.coverage >= 2);
+        assert_eq!(a.digest(), run_fuzz(&config).digest());
+        // The extended pool draws a different proposal stream, so the
+        // campaign must diverge from the base pool's.
+        let base = FuzzConfig {
+            extended: false,
+            generations: 4,
+            ..tiny()
+        };
+        assert_ne!(a.digest(), run_fuzz(&base).digest());
     }
 }

@@ -5,10 +5,13 @@
 //! shared by every worker of the parallel executor
 //! (see [`exec`](crate::exec)).
 
-use sift_core::{distinct_per_round, Conciliator, Persona, RoundHistory};
+use sift_core::{distinct_per_round, Conciliator, Persona, RoundHistory, SiftingParticipant};
+use sift_sim::adversary::DelayedChooser;
 use sift_sim::rng::SeedSplitter;
 use sift_sim::schedule::ScheduleKind;
-use sift_sim::{Engine, LayoutBuilder, Metrics, Process, ProcessId, StopReason};
+use sift_sim::{
+    AdaptiveView, Engine, LayoutBuilder, Metrics, Op, Process, ProcessId, RunReport, StopReason,
+};
 
 /// Result of one conciliator trial.
 #[derive(Debug, Clone)]
@@ -45,6 +48,46 @@ pub fn default_trials(wanted: usize) -> usize {
         },
         Err(_) => wanted,
     }
+}
+
+/// Extraction half of the E20-style sifting breaker: from an adaptive
+/// view, pick the live process furthest behind (lowest round), readers
+/// before writers within a round, lowest pid as the final tiebreak.
+/// Starving first-round reads of the writes they should have seen keeps
+/// every persona alive — the construction that defeats sifting once the
+/// adversary can inspect process state.
+pub(crate) fn breaker_extract(view: &AdaptiveView<'_, SiftingParticipant>) -> ProcessId {
+    view.live
+        .iter()
+        .min_by_key(|(pid, proc, op)| {
+            let is_writer = matches!(op, Op::RegisterWrite(_, _));
+            (proc.round(), is_writer, pid.index())
+        })
+        .map(|(pid, _, _)| *pid)
+        .expect("run_adaptive only consults a nonempty live set")
+}
+
+/// Decision half of the breaker: schedule the `k`-stale choice if that
+/// process is still live, else fall back to the first live process
+/// (liveness knowledge is always current; see
+/// [`sift_sim::adversary`]).
+pub(crate) fn breaker_decide(stale: Option<&ProcessId>, live: &[ProcessId]) -> ProcessId {
+    stale
+        .copied()
+        .filter(|p| live.contains(p))
+        .unwrap_or_else(|| live[0])
+}
+
+/// Runs `engine` to completion under the `delay`-stale sifting breaker:
+/// delay 0 is the fully adaptive adversary, larger delays the weaker
+/// `Delayed(k)` lattice points (free functions rather than closures so
+/// every caller drives byte-identical adversary behavior).
+pub(crate) fn run_sifting_breaker(
+    engine: Engine<SiftingParticipant>,
+    delay: usize,
+) -> RunReport<SiftingParticipant> {
+    let mut chooser = DelayedChooser::new(delay, breaker_extract, breaker_decide);
+    engine.run_adaptive(|view| chooser.choose(&view))
 }
 
 fn run_generic<C, P>(

@@ -99,3 +99,53 @@ fn conformance_keeps_passing_at_every_golden_scale() {
         );
     }
 }
+
+/// Golden digest of the E24 adversary-lattice sweep at its default
+/// shape (n = 32, 100 trials/cell). Integer tallies only, so the
+/// digest is exact — any drift means the lattice seeds, the breaker,
+/// or the regular-register resolution changed.
+const LATTICE_GOLDEN: u64 = 0x1e9879224b49e644;
+
+#[test]
+fn adversary_lattice_digest_matches_golden_across_thread_counts() {
+    use sift_bench::experiments::adversary;
+    let _guard = threads_lock();
+    for (t, digest) in [1, 4, 8].into_iter().zip(under_thread_counts(|| {
+        adversary::run_lattice(adversary::LATTICE_N, adversary::LATTICE_TRIALS).digest()
+    })) {
+        assert_eq!(
+            digest, LATTICE_GOLDEN,
+            "lattice at {t} threads: digest {digest:#018x}, golden {LATTICE_GOLDEN:#018x}"
+        );
+    }
+}
+
+/// Golden digest of the negative conformance tier at scale 1. Pins
+/// both the verdicts (adaptive/always-old refuted, controls hold) and
+/// the rendered statistics behind them.
+const NEGATIVE_GOLDEN: u64 = 0xce7e13b2f9f68eca;
+
+#[test]
+fn negative_conformance_digest_matches_golden_across_thread_counts() {
+    let _guard = threads_lock();
+    for (t, digest) in [1, 4, 8].into_iter().zip(under_thread_counts(|| {
+        conformance::digest(&conformance::run_negative(1))
+    })) {
+        assert_eq!(
+            digest, NEGATIVE_GOLDEN,
+            "negative tier at {t} threads: digest {digest:#018x}, \
+             golden {NEGATIVE_GOLDEN:#018x}"
+        );
+    }
+}
+
+#[test]
+fn negative_conformance_keeps_its_expected_polarities() {
+    let _guard = threads_lock();
+    let results = conformance::run_negative(1);
+    assert!(
+        conformance::all_pass(&results),
+        "a case landed on the wrong side of the obliviousness boundary: {:?}",
+        results.iter().filter(|r| !r.pass).collect::<Vec<_>>()
+    );
+}

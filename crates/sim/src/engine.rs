@@ -38,7 +38,7 @@
 use crate::event::{ProcessTable, SlotQueue, Touched};
 use crate::ids::ProcessId;
 use crate::layout::Layout;
-use crate::memory::Memory;
+use crate::memory::{Memory, RegisterSemantics};
 use crate::metrics::Metrics;
 use crate::obs::RingSink;
 use crate::op::Op;
@@ -94,6 +94,12 @@ pub struct Engine<P: Process> {
     trace: Option<Trace>,
     ring: Option<RingSink>,
     slot_limit: u64,
+    /// Per-slot reader epochs: the memory op-clock value when the slot's
+    /// process last executed an operation (0 before its first). Indexed
+    /// by slot (touch order), so it grows with the materialized set and
+    /// preserves the lazy O(touched) allocation guarantee. Only the
+    /// regular-register semantics consult it.
+    epochs: Vec<u64>,
 }
 
 impl<P: Process> Engine<P> {
@@ -113,6 +119,7 @@ impl<P: Process> Engine<P> {
             trace: None,
             ring: None,
             slot_limit: u64::MAX,
+            epochs: Vec::new(),
         }
     }
 
@@ -148,6 +155,7 @@ impl<P: Process> Engine<P> {
             trace: None,
             ring: None,
             slot_limit: u64::MAX,
+            epochs: Vec::new(),
         }
     }
 
@@ -181,6 +189,18 @@ impl<P: Process> Engine<P> {
         self
     }
 
+    /// Switches the register semantics of this engine's memory (atomic
+    /// by default; see
+    /// [`RegisterSemantics`](crate::memory::RegisterSemantics)). Under
+    /// regular semantics, a register read by a process whose previous
+    /// step preceded the latest write to that register resolves old or
+    /// new per the configured resolution — the simulator-side model of
+    /// a non-atomic register substrate.
+    pub fn set_register_semantics(&mut self, semantics: RegisterSemantics) -> &mut Self {
+        self.memory.set_semantics(semantics);
+        self
+    }
+
     /// Number of processes.
     pub fn process_count(&self) -> usize {
         self.table.n()
@@ -197,7 +217,12 @@ impl<P: Process> Engine<P> {
         let op = self.table.take_pending(slot);
         let kind = op.kind();
         let cost = self.memory.cost(&op);
-        let result = self.memory.execute(op);
+        let epoch = self.epochs.get(slot).copied().unwrap_or(0);
+        let result = self.memory.execute_for(op, epoch);
+        if self.epochs.len() <= slot {
+            self.epochs.resize(slot + 1, 0);
+        }
+        self.epochs[slot] = self.memory.ops_executed();
         let event = TraceEvent {
             slot: self.metrics.total_ops,
             pid,

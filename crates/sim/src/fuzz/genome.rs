@@ -13,7 +13,9 @@
 //! stops appearing in the compiled slot sequence, exactly like the
 //! finite-schedule crash encoding used by the model checker.
 
+use crate::adversary::AdversaryStrength;
 use crate::ids::ProcessId;
+use crate::memory::{RegisterSemantics, Resolution};
 use crate::rng::Xoshiro256StarStar;
 use crate::schedule::Schedule;
 
@@ -64,12 +66,61 @@ pub enum Gene {
         /// Index of the crashed process (taken modulo the alive count).
         victim: usize,
     },
+    /// Environment gene (extended pool only): the adversary strength
+    /// the campaign harness runs this genome under. Emits no slots —
+    /// [`ScheduleGenome::compile`] skips it; read it back with
+    /// [`ScheduleGenome::environment`] (last occurrence wins). The
+    /// compiled slot sequence stays oblivious; strengths above
+    /// [`AdversaryStrength::Oblivious`] tell the harness to *replace*
+    /// the compiled schedule with a state-reactive chooser of that
+    /// strength.
+    Adversary {
+        /// The lattice point to run under.
+        strength: AdversaryStrength,
+    },
+    /// Environment gene (extended pool only): the register semantics
+    /// the genome's runs execute under. Emits no slots; last occurrence
+    /// wins (see [`ScheduleGenome::environment`]).
+    Semantics {
+        /// Atomic, or regular with a fixed resolution policy.
+        semantics: RegisterSemantics,
+    },
 }
 
 impl Gene {
     fn random(n: usize, rng: &mut Xoshiro256StarStar) -> Gene {
+        // The kind draw MUST stay `range_u64(6)` here: campaign digests
+        // (FUZZ_GOLDEN) replay this exact randomness stream. New gene
+        // kinds go in `random_extended` below.
+        let kind = rng.range_u64(6);
+        Self::core(kind, n, rng)
+    }
+
+    /// Draws from the extended pool: the six schedule genes plus the
+    /// two environment genes (adversary strength, register semantics).
+    fn random_extended(n: usize, rng: &mut Xoshiro256StarStar) -> Gene {
+        match rng.range_u64(8) {
+            6 => {
+                let lattice = AdversaryStrength::lattice();
+                Gene::Adversary {
+                    strength: lattice[rng.range_u64(lattice.len() as u64) as usize],
+                }
+            }
+            7 => Gene::Semantics {
+                semantics: match rng.range_u64(4) {
+                    0 => RegisterSemantics::Atomic,
+                    1 => RegisterSemantics::Regular(Resolution::AlwaysNew),
+                    2 => RegisterSemantics::Regular(Resolution::AlwaysOld),
+                    _ => RegisterSemantics::Regular(Resolution::Coin(rng.next_u64())),
+                },
+            },
+            kind => Self::core(kind, n, rng),
+        }
+    }
+
+    fn core(kind: u64, n: usize, rng: &mut Xoshiro256StarStar) -> Gene {
         let burst = (4 * n).max(4) as u64;
-        match rng.range_u64(6) {
+        match kind {
             0 => Gene::RoundRobin {
                 rounds: 1 + rng.range_u64(4) as usize,
             },
@@ -94,6 +145,18 @@ impl Gene {
             },
         }
     }
+}
+
+/// The execution environment a genome asks for, aggregated from its
+/// environment genes (defaults when it carries none): which adversary
+/// strength the harness should drive the run with, and which register
+/// semantics the memory should execute under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Environment {
+    /// Adversary lattice point (default [`AdversaryStrength::Oblivious`]).
+    pub strength: AdversaryStrength,
+    /// Register semantics (default [`RegisterSemantics::Atomic`]).
+    pub semantics: RegisterSemantics,
 }
 
 /// A mutable adversary blueprint: an ordered gene sequence for `n`
@@ -127,14 +190,43 @@ impl ScheduleGenome {
         }
     }
 
+    /// Draws a fresh random genome of 1–6 genes from the extended pool
+    /// (schedule genes plus environment genes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_extended(n: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(n > 0, "need at least one process");
+        let count = 1 + rng.range_u64(6) as usize;
+        Self {
+            genes: (0..count).map(|_| Gene::random_extended(n, rng)).collect(),
+        }
+    }
+
     /// Produces a mutated copy: insert, delete, replace, or swap one
     /// gene.
     pub fn mutate(&self, n: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        self.mutate_impl(n, rng, false)
+    }
+
+    /// [`mutate`](Self::mutate), drawing replacement/inserted genes
+    /// from the extended pool.
+    pub fn mutate_extended(&self, n: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        self.mutate_impl(n, rng, true)
+    }
+
+    fn mutate_impl(&self, n: usize, rng: &mut Xoshiro256StarStar, extended: bool) -> Self {
+        let fresh = if extended {
+            Gene::random_extended
+        } else {
+            Gene::random
+        };
         let mut genes = self.genes.clone();
         match rng.range_u64(4) {
             0 => {
                 let at = rng.range_u64(genes.len() as u64 + 1) as usize;
-                genes.insert(at, Gene::random(n, rng));
+                genes.insert(at, fresh(n, rng));
             }
             1 if genes.len() > 1 => {
                 let at = rng.range_u64(genes.len() as u64) as usize;
@@ -142,7 +234,7 @@ impl ScheduleGenome {
             }
             2 => {
                 let at = rng.range_u64(genes.len() as u64) as usize;
-                genes[at] = Gene::random(n, rng);
+                genes[at] = fresh(n, rng);
             }
             _ => {
                 let a = rng.range_u64(genes.len() as u64) as usize;
@@ -156,6 +248,21 @@ impl ScheduleGenome {
     /// The gene sequence.
     pub fn genes(&self) -> &[Gene] {
         &self.genes
+    }
+
+    /// The execution environment the genome's environment genes ask
+    /// for, defaults where it carries none. Later genes win, matching
+    /// the "last write" reading of the gene program.
+    pub fn environment(&self) -> Environment {
+        let mut env = Environment::default();
+        for gene in &self.genes {
+            match *gene {
+                Gene::Adversary { strength } => env.strength = strength,
+                Gene::Semantics { semantics } => env.semantics = semantics,
+                _ => {}
+            }
+        }
+        env
     }
 
     /// Compiles the genome into a concrete oblivious schedule for `n`
@@ -219,6 +326,9 @@ impl ScheduleGenome {
                         alive.remove(victim % alive.len());
                     }
                 }
+                // Environment genes shape how the harness runs the
+                // schedule, not the slot sequence itself.
+                Gene::Adversary { .. } | Gene::Semantics { .. } => {}
             }
         }
         GenomeSchedule {
@@ -367,6 +477,78 @@ mod tests {
         let mut g = ScheduleGenome::random(4, &mut r);
         for _ in 0..100 {
             g = g.mutate(4, &mut r);
+            assert!(!g.genes().is_empty());
+            let s = g.compile(4);
+            assert!(!s.alive().is_empty());
+        }
+    }
+
+    #[test]
+    fn base_pool_never_draws_environment_genes() {
+        // The non-extended pool must keep the exact pre-existing gene
+        // distribution: campaign digests replay its randomness stream.
+        let mut r = rng(11);
+        for _ in 0..200 {
+            let g = ScheduleGenome::random(4, &mut r);
+            assert!(!g
+                .genes()
+                .iter()
+                .any(|g| matches!(g, Gene::Adversary { .. } | Gene::Semantics { .. })));
+            assert_eq!(g.environment(), Environment::default());
+        }
+    }
+
+    #[test]
+    fn environment_genes_emit_no_slots_and_last_one_wins() {
+        let g = ScheduleGenome::from_genes(vec![
+            Gene::Adversary {
+                strength: AdversaryStrength::Late,
+            },
+            Gene::RoundRobin { rounds: 1 },
+            Gene::Semantics {
+                semantics: RegisterSemantics::Regular(Resolution::AlwaysOld),
+            },
+            Gene::Adversary {
+                strength: AdversaryStrength::Adaptive,
+            },
+        ]);
+        let s = g.compile(3);
+        assert_eq!(s.prefix_len(), 3, "env genes add no slots");
+        let env = g.environment();
+        assert_eq!(env.strength, AdversaryStrength::Adaptive);
+        assert_eq!(
+            env.semantics,
+            RegisterSemantics::Regular(Resolution::AlwaysOld)
+        );
+    }
+
+    #[test]
+    fn extended_pool_eventually_draws_environment_genes() {
+        let mut r = rng(13);
+        let mut saw_adversary = false;
+        let mut saw_semantics = false;
+        for _ in 0..100 {
+            let g = ScheduleGenome::random_extended(4, &mut r);
+            for gene in g.genes() {
+                match gene {
+                    Gene::Adversary { .. } => saw_adversary = true,
+                    Gene::Semantics { .. } => saw_semantics = true,
+                    _ => {}
+                }
+            }
+            // Every extended genome must still compile and run.
+            let s = g.compile(4);
+            assert!(!s.alive().is_empty());
+        }
+        assert!(saw_adversary && saw_semantics);
+    }
+
+    #[test]
+    fn extended_mutation_keeps_genomes_compilable() {
+        let mut r = rng(17);
+        let mut g = ScheduleGenome::random_extended(4, &mut r);
+        for _ in 0..100 {
+            g = g.mutate_extended(4, &mut r);
             assert!(!g.genes().is_empty());
             let s = g.compile(4);
             assert!(!s.alive().is_empty());

@@ -32,7 +32,7 @@ use std::fmt;
 
 pub use corpus::{Corpus, CorpusEntry};
 pub use coverage::{interleaving_signature, CoverageMap, FingerprintHasher};
-pub use genome::{Gene, GenomeSchedule, ScheduleGenome};
+pub use genome::{Environment, Gene, GenomeSchedule, ScheduleGenome};
 
 use crate::rng::Xoshiro256StarStar;
 
@@ -125,6 +125,7 @@ pub struct Fuzzer {
     corpus: Corpus,
     violations: Vec<FuzzViolation>,
     evaluated: usize,
+    extended: bool,
 }
 
 impl Fuzzer {
@@ -142,7 +143,16 @@ impl Fuzzer {
             corpus: Corpus::new(),
             violations: Vec::new(),
             evaluated: 0,
+            extended: false,
         }
+    }
+
+    /// Switches proposal to the extended gene pool (environment genes:
+    /// adversary strength, register semantics). Off by default — the
+    /// base pool's randomness stream is pinned by campaign digests.
+    pub fn with_extended_genes(mut self, extended: bool) -> Self {
+        self.extended = extended;
+        self
     }
 
     /// Number of processes candidate schedules are compiled for.
@@ -159,12 +169,19 @@ impl Fuzzer {
         (0..count)
             .map(|_| {
                 if self.corpus.is_empty() || self.rng.coin() {
-                    ScheduleGenome::random(self.n, &mut self.rng)
+                    if self.extended {
+                        ScheduleGenome::random_extended(self.n, &mut self.rng)
+                    } else {
+                        ScheduleGenome::random(self.n, &mut self.rng)
+                    }
                 } else {
                     let at = self.rng.range_u64(self.corpus.len() as u64) as usize;
-                    self.corpus.entries()[at]
-                        .genome
-                        .mutate(self.n, &mut self.rng)
+                    let genome = &self.corpus.entries()[at].genome;
+                    if self.extended {
+                        genome.mutate_extended(self.n, &mut self.rng)
+                    } else {
+                        genome.mutate(self.n, &mut self.rng)
+                    }
                 }
             })
             .collect()

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod engine;
 pub mod event;
 pub mod explore;
@@ -78,11 +79,12 @@ pub mod snapshot;
 pub mod trace;
 pub mod value;
 
+pub use adversary::{AdversaryStrength, DelayedChooser};
 pub use engine::{AdaptiveView, Engine, RunReport, SparseEntry, SparseReport, StopReason};
 pub use ids::{MaxRegisterId, ProcessId, RegisterId, SnapshotId};
 pub use layout::{Layout, LayoutBuilder, LayoutOffsets};
 pub use legacy::LegacyEngine;
-pub use memory::{CostModel, Memory};
+pub use memory::{CostModel, Memory, RegisterSemantics, Resolution};
 pub use metrics::Metrics;
 pub use op::{Op, OpKind, OpResult, ScanView};
 pub use process::{Process, Step};
@@ -101,6 +103,8 @@ const _: () = {
     require_send_sync::<StopReason>();
     require_send_sync::<rng::SeedSplitter>();
     require_send_sync::<CostModel>();
+    require_send_sync::<RegisterSemantics>();
+    require_send_sync::<AdversaryStrength>();
 };
 
 /// Definition-checked proof that a finished run's report can be sent to

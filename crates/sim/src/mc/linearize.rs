@@ -181,6 +181,145 @@ fn check_object<V: Value + PartialEq>(
     }
 }
 
+/// Evidence that a history is not even *regular* (see [`check_regular`]).
+#[derive(Debug, Clone)]
+pub struct NotRegular {
+    /// The object whose subhistory violates regularity.
+    pub object: ObjectKey,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for NotRegular {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "history not regular at {:?}: {}",
+            self.object, self.message
+        )
+    }
+}
+
+impl Error for NotRegular {}
+
+/// Checks that `history` satisfies *regular*-register semantics — the
+/// weaker consistency level of Lamport's regular registers
+/// (Hadzilacos–Hu–Toueg, arXiv 2006.06771): every read must return the
+/// value of some write **overlapping** it, or of a latest write
+/// **preceding** it (⊥ counts as the initial virtual write). Unlike
+/// atomicity, regularity permits new/old inversions between concurrent
+/// reads, so torn-publication register histories that fail
+/// [`check_linearizable`] can still pass here — this is exactly the
+/// boundary the `torn-publication` substrate mode is pinned against.
+///
+/// Register subhistories are checked with the per-read regularity
+/// predicate (no search needed — regularity is a local property of each
+/// read). Snapshot and max-register subhistories are held to full
+/// linearizability, since no substrate mode weakens them.
+///
+/// # Errors
+///
+/// Returns [`NotRegular`] naming the first object with an inexplicable
+/// read (for registers) or a non-linearizable subhistory (for the other
+/// object kinds).
+///
+/// # Panics
+///
+/// As [`check_linearizable`], for the non-register objects.
+pub fn check_regular<V: Value + PartialEq>(
+    layout: &Layout,
+    history: &History<V>,
+) -> Result<(), NotRegular> {
+    for object in history.objects() {
+        let entries: Vec<&HistoryEntry<V>> = history
+            .entries()
+            .iter()
+            .filter(|e| e.object() == object)
+            .collect();
+        match object {
+            ObjectKey::Register(_) => check_register_regular(object, &entries)?,
+            _ => {
+                assert!(
+                    entries.len() <= 128,
+                    "object {object:?} carries {} operations; the checker supports \
+                     at most 128 per object",
+                    entries.len()
+                );
+                check_object(layout, object, &entries).map_err(|e| NotRegular {
+                    object: e.object,
+                    message: e.message,
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The per-read regularity predicate over one register's subhistory:
+/// `O(reads × writes²)`, no backtracking.
+fn check_register_regular<V: Value + PartialEq>(
+    object: ObjectKey,
+    entries: &[&HistoryEntry<V>],
+) -> Result<(), NotRegular> {
+    let illegal = |message: String| Err(NotRegular { object, message });
+    let writes: Vec<(&HistoryEntry<V>, &V)> = entries
+        .iter()
+        .filter_map(|e| match &e.op {
+            Op::RegisterWrite(_, v) => Some((*e, v)),
+            _ => None,
+        })
+        .collect();
+    for read in entries {
+        let value = match (&read.op, &read.result) {
+            (Op::RegisterWrite(_, _), OpResult::Ack) => continue,
+            (Op::RegisterRead(_), OpResult::RegisterValue(v)) => v,
+            (op, result) => {
+                return illegal(format!("malformed entry: op {op:?} returned {result:?}"))
+            }
+        };
+        // A write `w` may serve this read if it overlaps it, or if it
+        // precedes it without another write *definitively* between the
+        // two (one that starts after `w` responds and responds before
+        // the read invokes — such a write supersedes `w` in every
+        // serialization of the writes).
+        let may_serve = |w: &HistoryEntry<V>| {
+            let overlaps = w.invoked <= read.responded && w.responded >= read.invoked;
+            if overlaps {
+                return true;
+            }
+            let precedes = w.responded < read.invoked;
+            precedes
+                && !writes.iter().any(|(between, _)| {
+                    between.invoked > w.responded && between.responded < read.invoked
+                })
+        };
+        match value {
+            // ⊥ is the initial virtual write: legal iff no real write
+            // completed before the read began (otherwise some written
+            // value precedes the read and must be visible).
+            None => {
+                if let Some((w, _)) = writes.iter().find(|(w, _)| w.responded < read.invoked) {
+                    return illegal(format!(
+                        "read at [{}, {}] returned ⊥ although a write at [{}, {}] \
+                         completed before it",
+                        read.invoked, read.responded, w.invoked, w.responded
+                    ));
+                }
+            }
+            Some(v) => {
+                if !writes.iter().any(|(w, wv)| *wv == v && may_serve(w)) {
+                    return illegal(format!(
+                        "read at [{}, {}] returned a value no overlapping or \
+                         latest-preceding write produced",
+                        read.invoked, read.responded
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Wing–Gong search: `done` marks linearized operations, `state` is the
 /// spec state after them. Returns `true` iff the remainder linearizes.
 fn search<V: Value + PartialEq>(
@@ -325,6 +464,106 @@ mod tests {
             entry(2, Op::RegisterRead(r), OpResult::RegisterValue(None), 3, 4),
         ]);
         check_linearizable(&layout, &h).unwrap_err();
+    }
+
+    #[test]
+    fn new_old_inversion_is_regular() {
+        let (layout, r) = register_layout();
+        // The exact shape `check_linearizable` rejects above: both
+        // reads overlap the write, the earlier one sees the new value,
+        // the later one the old. Regularity allows it — each read
+        // returns an overlapping write's value or the preceding ⊥.
+        let h = History::from_entries(vec![
+            entry(0, Op::RegisterWrite(r, 7), OpResult::Ack, 0, 10),
+            entry(
+                1,
+                Op::RegisterRead(r),
+                OpResult::RegisterValue(Some(7)),
+                1,
+                2,
+            ),
+            entry(2, Op::RegisterRead(r), OpResult::RegisterValue(None), 3, 4),
+        ]);
+        check_linearizable(&layout, &h).unwrap_err();
+        check_regular(&layout, &h).unwrap();
+    }
+
+    #[test]
+    fn stale_read_after_completed_write_is_not_regular() {
+        let (layout, r) = register_layout();
+        // ⊥ after a completed write: not even regular.
+        let h = History::from_entries(vec![
+            entry(0, Op::RegisterWrite(r, 7), OpResult::Ack, 0, 1),
+            entry(1, Op::RegisterRead(r), OpResult::RegisterValue(None), 2, 3),
+        ]);
+        let err = check_regular(&layout, &h).unwrap_err();
+        assert_eq!(err.object, ObjectKey::Register(r));
+        assert!(err.to_string().contains("not regular"));
+    }
+
+    #[test]
+    fn superseded_write_may_not_serve_a_regular_read() {
+        let (layout, r) = register_layout();
+        // Write 1 then write 2, both complete before the read: only the
+        // later value is a legal return.
+        let h = History::from_entries(vec![
+            entry(0, Op::RegisterWrite(r, 1), OpResult::Ack, 0, 1),
+            entry(0, Op::RegisterWrite(r, 2), OpResult::Ack, 2, 3),
+            entry(
+                1,
+                Op::RegisterRead(r),
+                OpResult::RegisterValue(Some(1)),
+                4,
+                5,
+            ),
+        ]);
+        check_regular(&layout, &h).unwrap_err();
+        // But if the two writes overlap each other, either value can be
+        // "the latest preceding write" in some write serialization.
+        let h = History::from_entries(vec![
+            entry(0, Op::RegisterWrite(r, 1), OpResult::Ack, 0, 3),
+            entry(2, Op::RegisterWrite(r, 2), OpResult::Ack, 1, 2),
+            entry(
+                1,
+                Op::RegisterRead(r),
+                OpResult::RegisterValue(Some(1)),
+                4,
+                5,
+            ),
+        ]);
+        check_regular(&layout, &h).unwrap();
+    }
+
+    #[test]
+    fn regular_read_may_not_invent_values() {
+        let (layout, r) = register_layout();
+        let h = History::from_entries(vec![
+            entry(0, Op::RegisterWrite(r, 7), OpResult::Ack, 0, 10),
+            entry(
+                1,
+                Op::RegisterRead(r),
+                OpResult::RegisterValue(Some(99)),
+                1,
+                2,
+            ),
+        ]);
+        let err = check_regular(&layout, &h).unwrap_err();
+        assert!(err.to_string().contains("no overlapping"));
+    }
+
+    #[test]
+    fn non_register_objects_keep_atomic_semantics_under_check_regular() {
+        let mut b = LayoutBuilder::new();
+        let m = b.max_register();
+        let layout = b.build();
+        // A max-register read forgetting a completed higher-key write
+        // fails even the regularity check (only plain registers weaken).
+        let h = History::from_entries(vec![
+            entry(0, Op::MaxWrite(m, 9, 90), OpResult::Ack, 0, 1),
+            entry(1, Op::MaxRead(m), OpResult::MaxValue(None), 2, 3),
+        ]);
+        let err = check_regular(&layout, &h).unwrap_err();
+        assert_eq!(err.object, ObjectKey::MaxRegister(m));
     }
 
     #[test]

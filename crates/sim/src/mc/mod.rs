@@ -36,7 +36,7 @@ pub use counterexample::{
 pub use dependence::{trace_signature, Access, McEvent, ObjectKey};
 pub use dpor::{explore_dpor, McError, McOptions, McStats, RawViolation};
 pub use history::{History, HistoryEntry};
-pub use linearize::{check_linearizable, NotLinearizable};
+pub use linearize::{check_linearizable, check_regular, NotLinearizable, NotRegular};
 pub use naive::explore_naive;
 
 /// Error returned when the execution tree exceeds the configured limit.

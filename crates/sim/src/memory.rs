@@ -7,6 +7,7 @@ use crate::max_register::MaxRegister;
 use crate::op::{Op, OpResult};
 use crate::paged::Paged;
 use crate::register::Register;
+use crate::rng::Xoshiro256StarStar;
 use crate::snapshot::SnapshotObject;
 use crate::value::Value;
 
@@ -27,6 +28,44 @@ pub enum CostModel {
     /// Snapshot scans and updates cost `n` steps (`n` = component count),
     /// modelling a linear-time register-based snapshot.
     RegisterImplemented,
+}
+
+/// How a *regular* register resolves a read that overlaps a write.
+///
+/// A regular register (Lamport; Hadzilacos–Hu–Toueg, arXiv 2006.06771)
+/// guarantees only that a read returns the value of some write
+/// concurrent with it or of the last write preceding it — weaker than
+/// atomicity, which additionally forbids new/old inversions. The
+/// resolution picks, deterministically from the schedule state, which
+/// of the legal values each overlapping read observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Every overlapping read resolves to the newest value — observably
+    /// identical to the atomic substrate (the differential anchor).
+    AlwaysNew,
+    /// Every overlapping read resolves to the stalest legal value (the
+    /// displaced value, or ⊥ if no write preceded the read's start) —
+    /// the adversarially worst regular register.
+    AlwaysOld,
+    /// Each overlapping read flips a coin from a dedicated seeded
+    /// stream, independent of process and schedule randomness.
+    Coin(u64),
+}
+
+/// Which semantics simulated registers follow.
+///
+/// [`RegisterSemantics::Atomic`] is the paper's model and the default;
+/// [`RegisterSemantics::Regular`] weakens reads that overlap writes as
+/// selected by the [`Resolution`]. Only plain registers weaken —
+/// snapshots and max registers keep their atomic semantics (they model
+/// higher-level objects with their own implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegisterSemantics {
+    /// Linearizable registers (the default).
+    #[default]
+    Atomic,
+    /// Regular registers with the given overlap resolution.
+    Regular(Resolution),
 }
 
 /// Simulated shared memory.
@@ -56,6 +95,11 @@ pub struct Memory<V> {
     snapshots: Vec<SnapshotObject<V>>,
     max_registers: Paged<MaxRegister<V>>,
     cost_model: CostModel,
+    semantics: RegisterSemantics,
+    /// The [`Resolution::Coin`] stream; `None` under every other
+    /// semantics. Kept in the memory so cloning a memory clones the
+    /// stream position (replays stay bit-identical).
+    coin: Option<Xoshiro256StarStar>,
     ops_executed: u64,
 }
 
@@ -80,6 +124,8 @@ impl<V: Value> Memory<V> {
                 .collect(),
             max_registers: Paged::new(layout.max_register_count()),
             cost_model,
+            semantics: RegisterSemantics::Atomic,
+            coin: None,
             ops_executed: 0,
         }
     }
@@ -87,6 +133,25 @@ impl<V: Value> Memory<V> {
     /// The cost model in effect.
     pub fn cost_model(&self) -> CostModel {
         self.cost_model
+    }
+
+    /// The register semantics in effect.
+    pub fn semantics(&self) -> RegisterSemantics {
+        self.semantics
+    }
+
+    /// Switches the register semantics. Effective for subsequent
+    /// [`Memory::execute_for`] calls; [`Memory::execute`] always applies
+    /// atomic semantics (a plain execute carries no reader epoch, so
+    /// every read trivially follows all writes).
+    pub fn set_semantics(&mut self, semantics: RegisterSemantics) {
+        self.coin = match semantics {
+            RegisterSemantics::Regular(Resolution::Coin(seed)) => {
+                Some(Xoshiro256StarStar::seed_from_u64(seed))
+            }
+            _ => None,
+        };
+        self.semantics = semantics;
     }
 
     /// Executes one operation atomically and returns its result.
@@ -97,11 +162,58 @@ impl<V: Value> Memory<V> {
     /// built from, or if a snapshot component index is out of range. Both
     /// indicate protocol construction bugs.
     pub fn execute(&mut self, op: Op<V>) -> OpResult<V> {
+        // An epoch after every write makes each read trivially
+        // non-overlapping, so this is atomic under every semantics.
+        self.execute_for(op, u64::MAX)
+    }
+
+    /// Executes one operation on behalf of a process whose *previous*
+    /// scheduled step completed at global op-clock time `epoch` (0 for
+    /// a process taking its first step).
+    ///
+    /// Under [`RegisterSemantics::Atomic`] this behaves exactly like
+    /// [`Memory::execute`]. Under [`RegisterSemantics::Regular`], a
+    /// register read overlapping a write — one executed after `epoch`,
+    /// i.e. while the reading process was between scheduled steps —
+    /// resolves old or new per the configured [`Resolution`]. Writes
+    /// and all snapshot/max-register operations are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// As [`Memory::execute`].
+    pub fn execute_for(&mut self, op: Op<V>, epoch: u64) -> OpResult<V> {
         self.ops_executed += 1;
+        let now = self.ops_executed;
         match op {
-            Op::RegisterRead(id) => OpResult::RegisterValue(self.register_mut(id).read().cloned()),
+            Op::RegisterRead(id) => {
+                let stale = match self.semantics {
+                    RegisterSemantics::Atomic
+                    | RegisterSemantics::Regular(Resolution::AlwaysNew) => false,
+                    RegisterSemantics::Regular(Resolution::AlwaysOld) => true,
+                    RegisterSemantics::Regular(Resolution::Coin(_)) => {
+                        // Consume a coin only on genuinely overlapping
+                        // reads, so uncontended prefixes stay identical
+                        // across resolutions.
+                        self.registers
+                            .get(id.index())
+                            .is_some_and(|r| r.written_since(epoch))
+                            && self
+                                .coin
+                                .as_mut()
+                                .expect("Coin semantics always carries a stream")
+                                .coin()
+                    }
+                };
+                let reg = self.register_mut(id);
+                let value = if stale {
+                    reg.read_stale(epoch).cloned()
+                } else {
+                    reg.read().cloned()
+                };
+                OpResult::RegisterValue(value)
+            }
             Op::RegisterWrite(id, v) => {
-                self.register_mut(id).write(v);
+                self.register_mut(id).write_at(v, now);
                 OpResult::Ack
             }
             Op::SnapshotUpdate(id, component, v) => {
@@ -280,6 +392,81 @@ mod tests {
         let _ = b.register();
         let mut mem: Memory<u32> = Memory::new(&b.build());
         let _ = mem.execute(Op::RegisterRead(crate::ids::RegisterId::from_index(1)));
+    }
+
+    #[test]
+    fn regular_always_old_serves_stale_values() {
+        let (mut mem, r, _, _) = small_memory();
+        mem.set_semantics(RegisterSemantics::Regular(Resolution::AlwaysOld));
+        assert_eq!(
+            mem.semantics(),
+            RegisterSemantics::Regular(Resolution::AlwaysOld)
+        );
+        mem.execute_for(Op::RegisterWrite(r, 1), 0).expect_ack();
+        let after_first = mem.ops_executed();
+        mem.execute_for(Op::RegisterWrite(r, 2), after_first)
+            .expect_ack();
+        // Reader whose last step preceded both writes: sees ⊥.
+        assert_eq!(
+            mem.execute_for(Op::RegisterRead(r), 0).expect_register(),
+            None
+        );
+        // Reader from between the writes: sees the displaced value.
+        assert_eq!(
+            mem.execute_for(Op::RegisterRead(r), after_first)
+                .expect_register(),
+            Some(1)
+        );
+        // Reader from after both writes: regularity forces the newest.
+        assert_eq!(
+            mem.execute_for(Op::RegisterRead(r), mem.ops_executed())
+                .expect_register(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn regular_always_new_matches_atomic() {
+        let (mut mem, r, _, _) = small_memory();
+        mem.set_semantics(RegisterSemantics::Regular(Resolution::AlwaysNew));
+        mem.execute_for(Op::RegisterWrite(r, 7), 0).expect_ack();
+        assert_eq!(
+            mem.execute_for(Op::RegisterRead(r), 0).expect_register(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn regular_coin_is_deterministic_and_clones_with_memory() {
+        let (mut mem, r, _, _) = small_memory();
+        mem.set_semantics(RegisterSemantics::Regular(Resolution::Coin(42)));
+        mem.execute_for(Op::RegisterWrite(r, 1), 0).expect_ack();
+        mem.execute_for(Op::RegisterWrite(r, 2), 0).expect_ack();
+        let mut replay = mem.clone();
+        for _ in 0..32 {
+            // Overlapping reads (epoch 0) flip coins; the cloned memory
+            // must flip the same ones.
+            assert_eq!(
+                format!("{:?}", mem.execute_for(Op::RegisterRead(r), 0)),
+                format!("{:?}", replay.execute_for(Op::RegisterRead(r), 0))
+            );
+        }
+        // Both legal answers actually occur across the stream.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(mem.execute_for(Op::RegisterRead(r), 0).expect_register());
+        }
+        assert!(seen.contains(&Some(2)), "newest value never served");
+        assert!(seen.len() > 1, "coin never served a stale value");
+    }
+
+    #[test]
+    fn plain_execute_stays_atomic_under_regular_semantics() {
+        let (mut mem, r, _, _) = small_memory();
+        mem.set_semantics(RegisterSemantics::Regular(Resolution::AlwaysOld));
+        mem.execute(Op::RegisterWrite(r, 1)).expect_ack();
+        mem.execute(Op::RegisterWrite(r, 2)).expect_ack();
+        assert_eq!(mem.execute(Op::RegisterRead(r)).expect_register(), Some(2));
     }
 
     #[test]

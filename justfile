@@ -85,12 +85,24 @@ service-load:
 
 # A coverage-guided adversary fuzzing campaign against the sifting
 # conciliator's schedule-independent invariants. Knobs:
-# SIFT_FUZZ_{N,GENERATIONS,POPULATION,SEED,OUT}.
+# SIFT_FUZZ_{N,GENERATIONS,POPULATION,SEED,OUT}. Set
+# SIFT_FUZZ_EXTENDED=1 to also mutate the environment genes (adversary
+# strength + register semantics) with tier-tagged invariants.
 fuzz:
     cargo run --release -p sift-bench --bin exp_fuzz
 
+# The adversary lattice (E24) and the negative conformance tier (E25):
+# agreement vs adversary strength on both substrates, the
+# expected-failure decay claims (exp_adversary exits nonzero if any
+# negative case has the wrong polarity), the boundary tests, and the
+# torn-publication regularity suite.
+adversary:
+    cargo run --release -p sift-bench --bin exp_adversary
+    cargo test -q --release -p sift-bench --test adversary_boundary
+    cargo test -q --test linearizability --features torn-publication
+
 # Everything CI runs.
-ci: fmt-check clippy tier1 test-coarse test-obs mc determinism conformance service
+ci: fmt-check clippy tier1 test-coarse test-obs mc determinism conformance adversary service
 
 # Regenerate the recorded experiment output (uses all cores).
 experiments:
@@ -107,10 +119,11 @@ bench:
 # substrate counters in this default build; see `bench-obs`). Also
 # refreshes BENCH_sim.json with the event engine's throughput sweep
 # (scheduled events/sec at n ∈ {10³, 10⁵, 10⁶}, including the
-# single-digit-second n = 10⁶ sifting round), and BENCH_service.json
+# single-digit-second n = 10⁶ sifting round), BENCH_service.json
 # with the E23 service load run (1M Zipf-skewed proposals; per-shard
-# latency histograms). Raise SIFT_BENCH_MS for a steadier baseline on
-# a quiet machine.
+# latency histograms), and BENCH_adversary.json with the E24 lattice
+# sweep plus the E25 negative-tier verdicts. Raise SIFT_BENCH_MS for a
+# steadier baseline on a quiet machine.
 bench-json:
     SIFT_BENCH_JSON={{justfile_directory()}}/BENCH_shmem.json \
     SIFT_BENCH_OBS_JSON={{justfile_directory()}}/BENCH_obs.json \
@@ -119,6 +132,8 @@ bench-json:
     cargo bench -p sift-bench --bench sim_engine
     SIFT_SERVICE_JSON={{justfile_directory()}}/BENCH_service.json \
     cargo run --release -p sift-bench --bin exp_service
+    SIFT_ADVERSARY_JSON={{justfile_directory()}}/BENCH_adversary.json \
+    cargo run --release -p sift-bench --bin exp_adversary
 
 # The contention bench with the substrate's counters compiled in:
 # BENCH_obs.json then carries real CAS-retry / retire-pile / latency

@@ -6,7 +6,10 @@ use sift::core::{Conciliator, Epsilon, SiftingConciliator, SnapshotConciliator};
 use sift::sim::fuzz::ScheduleGenome;
 use sift::sim::rng::{SeedSplitter, Xoshiro256StarStar};
 use sift::sim::schedule::{CrashSubset, RandomInterleave, Schedule, ScheduleKind};
-use sift::sim::{Engine, LayoutBuilder, LegacyEngine, Metrics, ProcessId, RunReport};
+use sift::sim::{
+    Engine, LayoutBuilder, LegacyEngine, Metrics, ProcessId, RegisterSemantics, Resolution,
+    RunReport,
+};
 
 fn run_sifting(master: u64, schedule_seed: u64) -> (Vec<u64>, Metrics) {
     let n = 24;
@@ -198,6 +201,97 @@ fn event_engine_matches_legacy_under_slot_limits() {
         assert_eq!(old.metrics, new.metrics);
         assert_eq!(old.stop_reason, new.stop_reason);
     }
+}
+
+/// Like [`sifting_report`], but on the event engine with explicit
+/// register semantics — the regular-substrate differentials below.
+fn sifting_report_with_semantics(
+    master: u64,
+    schedule: impl FnOnce(usize) -> Box<dyn Schedule>,
+    semantics: RegisterSemantics,
+) -> RunReport<sift::core::SiftingParticipant> {
+    let n = 16;
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, n, Epsilon::HALF);
+    let layout = b.build();
+    let split = SeedSplitter::new(master);
+    let procs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut rng = split.stream("process", i as u64);
+            c.participant(ProcessId(i), i as u64, &mut rng)
+        })
+        .collect();
+    let mut engine = Engine::new(&layout, procs);
+    engine.enable_trace();
+    engine.set_register_semantics(semantics);
+    engine.run(schedule(n))
+}
+
+/// Regular registers with every overlapping read resolved to the new
+/// value are observationally atomic: under any fixed schedule, each
+/// read returns exactly the latest write ordered before it, which is
+/// the atomic answer. The engine must reproduce this equivalence bit
+/// for bit on every schedule family.
+#[test]
+fn always_new_regular_semantics_match_atomic_on_every_schedule_family() {
+    for kind in ScheduleKind::all() {
+        for seed in [1u64, 17, 99] {
+            let atomic = sifting_report_with_semantics(
+                seed,
+                |n| kind.build(n, seed),
+                RegisterSemantics::Atomic,
+            );
+            let regular = sifting_report_with_semantics(
+                seed,
+                |n| kind.build(n, seed),
+                RegisterSemantics::Regular(Resolution::AlwaysNew),
+            );
+            assert_reports_identical(&atomic, &regular);
+        }
+    }
+}
+
+/// The same always-new/atomic equivalence on pinned fuzz genomes — the
+/// exact schedule programs coverage-guided fuzzing replays, covering
+/// solo bursts, stalls, and crash-truncated prefixes.
+#[test]
+fn always_new_regular_semantics_match_atomic_on_pinned_fuzz_genomes() {
+    for genome_seed in [0xC0FFEE_u64, 0xFEED, 0xDECAF, 7, 4242] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(genome_seed);
+        let genome = ScheduleGenome::random(16, &mut rng);
+        let atomic = sifting_report_with_semantics(
+            genome_seed,
+            |n| Box::new(genome.compile(n)),
+            RegisterSemantics::Atomic,
+        );
+        let regular = sifting_report_with_semantics(
+            genome_seed,
+            |n| Box::new(genome.compile(n)),
+            RegisterSemantics::Regular(Resolution::AlwaysNew),
+        );
+        assert_reports_identical(&atomic, &regular);
+    }
+}
+
+/// Coin-resolved regular mode stays a pure function of its seeds: the
+/// overlap coin is drawn from the `Resolution::Coin` stream, not from
+/// ambient randomness, so identical (master, schedule, coin) seeds give
+/// identical executions — and a different coin seed is allowed to
+/// change the run.
+#[test]
+fn regular_coin_runs_are_reproducible() {
+    let run = |coin: u64| {
+        sifting_report_with_semantics(
+            42,
+            |n| kindless_random(n, 9),
+            RegisterSemantics::Regular(Resolution::Coin(coin)),
+        )
+    };
+    assert_reports_identical(&run(0xC01), &run(0xC01));
+}
+
+fn kindless_random(n: usize, seed: u64) -> Box<dyn Schedule> {
+    Box::new(RandomInterleave::new(n, seed))
 }
 
 #[test]

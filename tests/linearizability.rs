@@ -462,3 +462,164 @@ fn non_linearizable_max_register_history_is_rejected() {
     let err = check_linearizable(&layout, &history).unwrap_err();
     assert_eq!(err.object, ObjectKey::MaxRegister(m));
 }
+
+// ---------------------------------------------------------------------
+// The regularity boundary: torn-publication histories must fail the
+// Wing–Gong atomic checker yet pass `check_regular` — and genuinely
+// broken (word-tearing) histories must fail both.
+// ---------------------------------------------------------------------
+
+/// A history captured from the real torn-publication substrate: with
+/// the publication window held open, successive reads of the inline
+/// seqlock register observe the new value and then the old one — the
+/// new/old inversion Lamport regularity permits and atomicity forbids.
+/// The checker pair must agree with the theory on both counts.
+#[cfg(feature = "torn-publication")]
+#[test]
+fn torn_publication_histories_are_regular_but_not_atomic() {
+    use sift::shmem::register::LockFreeRegister;
+    use sift::sim::mc::check_regular;
+
+    let mut b = LayoutBuilder::new();
+    let r = b.register();
+    let layout = b.build();
+
+    // Drive the real cell: complete a write of 10, then hold a torn
+    // write of 20 open while two reads go through the odd-seq window.
+    let reg: LockFreeRegister<u64> = LockFreeRegister::new();
+    reg.write(10);
+    let guard = reg.torn_write(20);
+    let first = reg.read();
+    let second = reg.read();
+    guard.finish();
+    let settled = reg.read();
+    assert_eq!(first, Some(20), "window parity starts on the new value");
+    assert_eq!(second, Some(10), "second read is served the old value");
+    assert_eq!(settled, Some(20), "the window closes on the new value");
+
+    // The same execution as a timed history: the torn write spans the
+    // two reads, the settled read follows its response.
+    let history = History::from_entries(vec![
+        HistoryEntry {
+            pid: ProcessId(0),
+            op: Op::RegisterWrite(r, 10u64),
+            result: OpResult::Ack,
+            invoked: 0,
+            responded: 1,
+        },
+        HistoryEntry {
+            pid: ProcessId(0),
+            op: Op::RegisterWrite(r, 20u64),
+            result: OpResult::Ack,
+            invoked: 2,
+            responded: 9,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::RegisterRead(r),
+            result: OpResult::RegisterValue(first),
+            invoked: 3,
+            responded: 4,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::RegisterRead(r),
+            result: OpResult::RegisterValue(second),
+            invoked: 5,
+            responded: 6,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::RegisterRead(r),
+            result: OpResult::RegisterValue(settled),
+            invoked: 10,
+            responded: 11,
+        },
+    ]);
+    history.check_well_formed().unwrap();
+    let err =
+        check_linearizable(&layout, &history).expect_err("a new/old inversion must not linearize");
+    assert_eq!(err.object, ObjectKey::Register(r));
+    check_regular(&layout, &history)
+        .expect("both reads resolve to an overlapping or latest-preceding write");
+}
+
+/// The first-ever torn window serves ⊥ as its old value: atomically
+/// inexplicable once a read has already returned the new value, but
+/// regular — the write has not responded, so no completed write
+/// precedes the ⊥ read.
+#[cfg(feature = "torn-publication")]
+#[test]
+fn first_torn_window_bottom_reads_are_regular_but_not_atomic() {
+    use sift::shmem::register::LockFreeRegister;
+    use sift::sim::mc::check_regular;
+
+    let mut b = LayoutBuilder::new();
+    let r = b.register();
+    let layout = b.build();
+
+    let reg: LockFreeRegister<u64> = LockFreeRegister::new();
+    let guard = reg.torn_write(7);
+    let first = reg.read();
+    let second = reg.read();
+    guard.finish();
+    assert_eq!((first, second), (Some(7), None));
+
+    let history = History::from_entries(vec![
+        HistoryEntry {
+            pid: ProcessId(0),
+            op: Op::RegisterWrite(r, 7u64),
+            result: OpResult::Ack,
+            invoked: 0,
+            responded: 7,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::RegisterRead(r),
+            result: OpResult::RegisterValue(first),
+            invoked: 1,
+            responded: 2,
+        },
+        HistoryEntry {
+            pid: ProcessId(1),
+            op: Op::RegisterRead(r),
+            result: OpResult::RegisterValue(second),
+            invoked: 3,
+            responded: 4,
+        },
+    ]);
+    history.check_well_formed().unwrap();
+    let err = check_linearizable(&layout, &history).expect_err("7-then-⊥ must not linearize");
+    assert_eq!(err.object, ObjectKey::Register(r));
+    check_regular(&layout, &history).expect("⊥ is legal while the first write is in flight");
+}
+
+/// Regularity is not a free pass: word-tearing histories — reads
+/// combining halves of two different writes into a value *no* write
+/// produced — must fail `check_regular` exactly as they fail the
+/// atomic checker. Only whole old-or-new values are excused.
+#[test]
+fn word_torn_histories_fail_even_the_regularity_checker() {
+    use sift::shmem::RecordingMemory;
+    use sift::sim::mc::check_regular;
+
+    for seed in 0..8u64 {
+        let mut b = LayoutBuilder::new();
+        let r = b.register();
+        let layout = b.build();
+        let mem = RecordingMemory::over(TornRegisterMemory::default());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let writes = 2 + rng.range_u64(4);
+        for i in 0..writes {
+            let k = 1 + seed * 100 + i * (1 + rng.range_u64(5));
+            mem.execute_as(ProcessId(0), Op::RegisterWrite(r, (k << 32) | k))
+                .expect_ack();
+        }
+        mem.execute_as(ProcessId(1), Op::RegisterRead(r));
+        let history = mem.into_history();
+        history.check_well_formed().unwrap();
+        let err =
+            check_regular(&layout, &history).expect_err("a torn word is not any write's value");
+        assert_eq!(err.object, ObjectKey::Register(r), "seed {seed}");
+    }
+}

@@ -243,6 +243,7 @@ fn fuzz_corpus_replays_agree_across_substrates_and_engine() {
         generations: 4,
         population: 8,
         seed: 0xD1FF,
+        ..FuzzConfig::default()
     };
     let campaign = run_fuzz(&config);
     assert!(
@@ -297,6 +298,67 @@ fn fuzz_corpus_replays_agree_across_substrates_and_engine() {
             survivors(&on_engine),
             survivors(&on_coarse),
             "corpus script {idx}: survivor sets diverge"
+        );
+    }
+}
+
+/// Regular-register mode with every overlap resolved to the new value
+/// is observationally atomic, so replaying the fuzz corpus scripts
+/// through the simulator under `Regular(AlwaysNew)` must reproduce the
+/// atomic replays bit for bit — the simulator-side analogue of the
+/// substrate differentials above, on exactly the coverage-novel
+/// interleavings the fuzzer found interesting.
+#[test]
+fn fuzz_corpus_replays_agree_between_atomic_and_always_new_regular() {
+    use sift::sim::schedule::FixedSchedule;
+    use sift::sim::{RegisterSemantics, Resolution};
+
+    let config = FuzzConfig {
+        n: 6,
+        generations: 4,
+        population: 8,
+        seed: 0xA70_11C,
+        ..FuzzConfig::default()
+    };
+    let campaign = run_fuzz(&config);
+    assert!(campaign.violations.is_empty());
+    assert!(!campaign.corpus_scripts.is_empty());
+
+    let mut b = LayoutBuilder::new();
+    let c = SiftingConciliator::allocate(&mut b, config.n, Epsilon::HALF);
+    let layout = b.build();
+    let make_procs = |seed: u64| {
+        let split = SeedSplitter::new(seed);
+        (0..config.n)
+            .map(|i| {
+                let mut rng = split.stream("process", i as u64);
+                c.participant(ProcessId(i), i as u64, &mut rng)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    for (idx, script) in campaign.corpus_scripts.iter().enumerate() {
+        let seed = 7100 + idx as u64;
+        let replay_under = |semantics: RegisterSemantics| {
+            let mut engine = sift::sim::Engine::new(&layout, make_procs(seed));
+            engine.enable_trace();
+            engine.set_register_semantics(semantics);
+            engine.run(FixedSchedule::from_indices(script.iter().copied()))
+        };
+        let atomic = replay_under(RegisterSemantics::Atomic);
+        let regular = replay_under(RegisterSemantics::Regular(Resolution::AlwaysNew));
+        assert_eq!(
+            atomic.outputs, regular.outputs,
+            "corpus script {idx}: outputs diverge"
+        );
+        assert_eq!(
+            atomic.metrics, regular.metrics,
+            "corpus script {idx}: metrics diverge"
+        );
+        assert_eq!(
+            atomic.trace.as_ref().map(|t| t.events()),
+            regular.trace.as_ref().map(|t| t.events()),
+            "corpus script {idx}: traces diverge"
         );
     }
 }
